@@ -1,0 +1,65 @@
+"""Ablation: energy-model sensitivity (Fig. 15's energy conclusions).
+
+The paper's energy claims — Winograd trades DRAM energy for compute
+energy; MPT recovers DRAM energy by partitioning weights; idle SerDes
+power rewards shorter execution — depend on the per-component constants.
+This ablation recomputes the Late-1 energy breakdown under perturbed
+constants and checks the *conclusions* are robust to 2x swings.
+"""
+
+from dataclasses import replace
+
+from conftest import print_figure
+
+from repro.core import GridConfig, PerfModel, d_dp, w_dp, w_mp_plus
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import five_layers
+
+
+def sweep_energy():
+    layer = five_layers()[3]  # Late-1
+    rows = []
+    for label, params in (
+        ("paper constants", DEFAULT_PARAMS),
+        ("2x DRAM energy", replace(DEFAULT_PARAMS, dram_pj_per_bit=7.4)),
+        ("2x link idle", replace(DEFAULT_PARAMS, full_link_idle_w=1.6,
+                                 narrow_link_idle_w=0.54)),
+        ("half compute energy", replace(DEFAULT_PARAMS, fp32_mul_pj=1.85,
+                                        fp32_add_pj=0.45)),
+    ):
+        model = PerfModel(params)
+        for config, grid in (
+            (d_dp(), GridConfig(1, 256)),
+            (w_dp(), GridConfig(1, 256)),
+            (w_mp_plus(), GridConfig(16, 16)),
+        ):
+            perf = model.evaluate_layer(layer, 256, config, grid)
+            energy = perf.energy_j
+            rows.append(
+                {
+                    "constants": label,
+                    "config": config.name,
+                    "compute_mJ": energy.compute_j * 1e3,
+                    "dram_mJ": energy.dram_j * 1e3,
+                    "link_mJ": (energy.link_j + energy.link_idle_j) * 1e3,
+                    "total_mJ": energy.total_j * 1e3,
+                }
+            )
+    return rows
+
+
+def test_ablation_energy(benchmark):
+    rows = benchmark(sweep_energy)
+    print_figure(
+        "Ablation — energy-model sensitivity (Late-1, per worker)",
+        rows,
+        note="the paper's orderings must survive 2x constant swings",
+    )
+    for label in {r["constants"] for r in rows}:
+        sub = {r["config"]: r for r in rows if r["constants"] == label}
+        # Winograd DP always pays more DRAM energy than direct DP...
+        assert sub["w_dp"]["dram_mJ"] > sub["d_dp"]["dram_mJ"]
+        # ... and MPT always recovers DRAM energy vs Winograd DP.
+        assert sub["w_mp+"]["dram_mJ"] < sub["w_dp"]["dram_mJ"]
+        # MPT's total is lowest on this weight-heavy layer.
+        assert sub["w_mp+"]["total_mJ"] < sub["w_dp"]["total_mJ"]

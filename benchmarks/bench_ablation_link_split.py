@@ -1,0 +1,55 @@
+"""Ablation: how the four I/O links are split between collective rings
+and the tile-transfer FBFLY.
+
+The paper fixes a 2+2 split for MPT (Section VII-A).  This ablation
+sweeps the number of full-width links dedicated to collectives (the rest
+go to tile transfer) for the Late-1 layer, where both traffic classes
+matter, showing the 2+2 choice is near-optimal.
+"""
+
+from dataclasses import replace
+
+from conftest import print_figure
+
+from repro.core import GridConfig, MachineConfig, PerfModel, w_mp_plus
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import five_layers
+
+
+def sweep_link_split():
+    layer = five_layers()[3]  # Late-1
+    rows = []
+    for rings in (1, 2, 3):
+        config = replace(w_mp_plus(), collective_rings=rings)
+        # Remaining links feed the FBFLY: scale the narrow-link rate so
+        # aggregate cluster bandwidth matches (4 - rings) full links.
+        tile_share = (4 - rings) / 2.0
+        params = replace(
+            DEFAULT_PARAMS,
+            narrow_link_bytes_per_s=DEFAULT_PARAMS.narrow_link_bytes_per_s
+            * tile_share,
+        )
+        model = PerfModel(params)
+        perf = model.evaluate_layer(layer, 256, config, GridConfig(16, 16))
+        rows.append(
+            {
+                "collective_links": rings,
+                "tile_links": 4 - rings,
+                "fwd_us": perf.forward_s * 1e6,
+                "bwd_us": perf.backward_s * 1e6,
+                "total_us": perf.total_s * 1e6,
+            }
+        )
+    return rows
+
+
+def test_ablation_link_split(benchmark):
+    rows = benchmark(sweep_link_split)
+    print_figure(
+        "Ablation — I/O link split between collectives and tile transfer "
+        "(Late-1, (16,16))",
+        rows,
+        note="paper uses 2+2; the optimum balances both traffic classes",
+    )
+    best = min(rows, key=lambda r: r["total_us"])
+    assert best["collective_links"] == 2

@@ -1,0 +1,63 @@
+"""Ablation: quantiser precision vs prediction quality vs net traffic.
+
+More bits predict more dead tiles but cost a larger side channel; the
+paper's 6-bit (2D) / 5-bit (1D) choices sit at the sweet spot.  This
+ablation sweeps 4-8 bits at 4 regions and reports the end-to-end gather
+traffic reduction.
+"""
+
+from conftest import print_figure
+
+from repro.prediction import (
+    NonUniformQuantizer,
+    QuantizerConfig,
+    gather_traffic_reduction,
+    make_tile_sample,
+    predict_1d,
+    predict_2d,
+)
+from repro.winograd import make_transform
+
+
+def sweep_bits():
+    transform = make_transform(2, 3)
+    sample = make_tile_sample(batch=8, size=16, seed=0)
+    tiles = sample.output_tiles_wd
+    sigma = float(tiles.std())
+    rows = []
+    for mode, fn in (("2d", predict_2d), ("1d", predict_1d)):
+        for levels in (16, 32, 64, 128, 256):
+            quantizer = NonUniformQuantizer(
+                QuantizerConfig(levels=levels, regions=4), sigma
+            )
+            result = fn(tiles, transform, quantizer)
+            reduction = gather_traffic_reduction(
+                result, quantizer, mode, transform
+            )
+            rows.append(
+                {
+                    "mode": mode,
+                    "bits": quantizer.config.bits,
+                    "predicted_ratio": result.predicted_ratio,
+                    "false_negatives": result.false_negatives,
+                    "traffic_reduction": reduction,
+                }
+            )
+    return rows
+
+
+def test_ablation_quantizer(benchmark):
+    rows = benchmark(sweep_bits)
+    print_figure(
+        "Ablation — quantiser precision vs gather-traffic reduction",
+        rows,
+        note="paper picks 6-bit (2D) / 5-bit (1D)",
+    )
+    assert all(r["false_negatives"] == 0 for r in rows)
+    for mode in ("2d", "1d"):
+        sub = [r for r in rows if r["mode"] == mode]
+        ratios = [r["predicted_ratio"] for r in sub]
+        assert ratios == sorted(ratios)  # more bits -> better prediction
+        best = max(sub, key=lambda r: r["traffic_reduction"])
+        # The optimum is an interior sweet spot, not max precision.
+        assert best["bits"] < 8

@@ -1,0 +1,51 @@
+"""Ablation: ring vs binomial-tree collectives for weight gradients.
+
+Paper Section II-C/IV: ring all-reduce is bandwidth-optimal for the large
+weight-gradient buffers (footnote 10: "ring is a bandwidth optimal
+algorithm ... start-up time overhead is negligible" at these message
+sizes).  The tree baseline wins only when the message is tiny.
+"""
+
+from conftest import print_figure
+
+from repro.netsim import ring_allreduce_time
+from repro.netsim.tree_collective import tree_allreduce_time
+from repro.params import DEFAULT_PARAMS
+from repro.workloads import five_layers
+
+
+def sweep_messages():
+    bw = DEFAULT_PARAMS.full_link_bytes_per_s
+    rows = []
+    sizes = {
+        "tiny (256 B)": 256,
+        "Early |w| slice": five_layers()[0].weight_count * 4 // 16,
+        "Late |W| slice": five_layers()[-1].winograd_weight_count(4) * 4 // 16,
+        "full Late |w|": five_layers()[-1].weight_count * 4,
+    }
+    for label, size in sizes.items():
+        ring_t = ring_allreduce_time(size, 16, bw)
+        tree_t = tree_allreduce_time(size, 16, bw)
+        rows.append(
+            {
+                "message": label,
+                "bytes": size,
+                "ring_us": ring_t * 1e6,
+                "tree_us": tree_t * 1e6,
+                "winner": "ring" if ring_t < tree_t else "tree",
+            }
+        )
+    return rows
+
+
+def test_ablation_ring_vs_tree(benchmark):
+    rows = benchmark(sweep_messages)
+    print_figure(
+        "Ablation — ring vs binomial-tree all-reduce (16 workers)",
+        rows,
+        note="paper footnote 10: ring is bandwidth-optimal at these sizes",
+    )
+    by = {r["message"]: r for r in rows}
+    assert by["tiny (256 B)"]["winner"] == "tree"
+    assert by["full Late |w|"]["winner"] == "ring"
+    assert by["Late |W| slice"]["winner"] == "ring"

@@ -1,0 +1,56 @@
+"""Ablation: flattened butterfly vs ring for intra-cluster tile transfer.
+
+The paper picks a 2D FBFLY inside each cluster "to efficiently support
+all-to-all traffic".  This ablation runs the same all-to-all on the event
+simulator over an FBFLY and over a ring of equal aggregate link count,
+showing the FBFLY's advantage grows with cluster size.
+"""
+
+from conftest import print_figure
+
+from repro.netsim import (
+    NetworkSimulator,
+    all_to_all,
+    flattened_butterfly_2d,
+    ring,
+)
+from repro.params import DEFAULT_PARAMS
+
+
+def compare_topologies():
+    rows = []
+    for cluster in (4, 16):
+        size = 20_000
+        fb = flattened_butterfly_2d(*_shape(cluster))
+        sim_fb = NetworkSimulator(fb, packet_bytes=DEFAULT_PARAMS.data_packet_bytes)
+        t_fb = all_to_all(sim_fb, list(range(cluster)), size).finish_time_s
+
+        rg = ring(cluster, full=False)
+        sim_rg = NetworkSimulator(rg, packet_bytes=DEFAULT_PARAMS.data_packet_bytes)
+        t_rg = all_to_all(sim_rg, list(range(cluster)), size).finish_time_s
+        rows.append(
+            {
+                "cluster": cluster,
+                "fbfly_us": t_fb * 1e6,
+                "ring_us": t_rg * 1e6,
+                "fbfly_advantage": t_rg / t_fb,
+            }
+        )
+    return rows
+
+
+def _shape(n):
+    from repro.netsim.collectives import fbfly_shape
+
+    return fbfly_shape(n)
+
+
+def test_ablation_topology(benchmark):
+    rows = benchmark.pedantic(compare_topologies, rounds=1, iterations=1)
+    print_figure(
+        "Ablation — all-to-all on FBFLY vs narrow ring (equal link class)",
+        rows,
+        note="justifies the paper's FBFLY choice for tile transfer",
+    )
+    assert all(r["fbfly_advantage"] > 1.0 for r in rows)
+    assert rows[-1]["fbfly_advantage"] > rows[0]["fbfly_advantage"]

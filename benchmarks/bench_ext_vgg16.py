@@ -1,0 +1,45 @@
+"""Extension experiment: MPT on VGG-16 (the network Table II's layers
+come from).
+
+Not in the paper's Table I, but the natural consistency check: a full
+network built from the Table II shapes should show the layer-wise results
+in aggregate — dynamic clustering keeps the early half at data
+parallelism while the 512-channel back half runs (4,64)/(16,16).
+"""
+
+from conftest import print_figure
+
+from repro.core import MachineConfig, TrainingSimulator, table4_configs
+from repro.workloads import vgg16
+
+
+def run_vgg():
+    net = vgg16()
+    sim = TrainingSimulator(MachineConfig(workers=256, batch=256))
+    rows = []
+    baseline = None
+    for config in table4_configs():
+        result = sim.simulate_iteration(net, config)
+        if config.name == "w_dp":
+            baseline = result.iteration_s
+        rows.append(
+            {
+                "config": config.name,
+                "iteration_ms": result.iteration_s * 1e3,
+                "images_per_s": result.images_per_s,
+                "speedup_vs_w_dp": (baseline / result.iteration_s) if baseline else 1.0,
+            }
+        )
+    return rows
+
+
+def test_vgg16_mpt(benchmark):
+    rows = benchmark(run_vgg)
+    print_figure(
+        "Extension — VGG-16 on 256 NDP workers (batch 256)",
+        rows,
+        note="consistency check against the Table II layer-wise results",
+    )
+    by = {r["config"]: r for r in rows}
+    assert by["w_mp++"]["speedup_vs_w_dp"] > 1.0
+    assert by["w_mp++"]["iteration_ms"] <= by["w_mp+"]["iteration_ms"] + 1e-9

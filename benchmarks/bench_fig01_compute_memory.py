@@ -1,0 +1,25 @@
+"""Fig. 1: computation and memory access, Winograd vs direct convolution.
+
+Paper reference: Winograd reduces computation by 2.8x on average but
+increases data accesses by 4.4x on average over the five Table II layers.
+"""
+
+from conftest import print_figure
+
+from repro.analysis import fig01_rows
+
+
+def test_fig01(benchmark):
+    rows = benchmark(fig01_rows)
+    print_figure(
+        "Fig. 1 — compute reduction & memory-access increase (batch 256)",
+        rows,
+        note="paper averages: compute 2.8x lower, access 4.4x higher",
+    )
+    f4 = [r for r in rows if r["transform"] == "F(4x4,3x3)"]
+    avg_compute = sum(r["compute_reduction_x"] for r in f4) / len(f4)
+    avg_access = sum(r["access_increase_x"] for r in f4) / len(f4)
+    print(f"\nF(4x4,3x3) averages: compute {avg_compute:.2f}x lower, "
+          f"access {avg_access:.2f}x higher")
+    assert avg_compute > 1.5
+    assert avg_access > 2.0

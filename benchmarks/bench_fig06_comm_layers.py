@@ -1,0 +1,23 @@
+"""Fig. 6: per-worker communication of the Early and Late layers under
+different parallelism strategies (p = 256, batch 256).
+
+Paper reference (qualitative): MPT multiplies Early-layer traffic via
+tile transfer but cuts Late-layer traffic via partitioned weights.
+"""
+
+from conftest import print_figure
+
+from repro.analysis import fig06_rows
+
+
+def test_fig06(benchmark):
+    rows = benchmark(fig06_rows)
+    print_figure(
+        "Fig. 6 — per-worker communication per iteration (MB)",
+        rows,
+        note="paper: MPT >> DP on Early (tile transfer); MPT << DP on Late",
+    )
+    early = {r["strategy"]: r["total_MB"] for r in rows if r["layer"] == "Early"}
+    late = {r["strategy"]: r["total_MB"] for r in rows if r["layer"] == "Late-2"}
+    assert early["w_mp(16,16)"] > early["w_dp(1,256)"]
+    assert late["w_mp(16,16)"] < late["w_dp(1,256)"]

@@ -1,0 +1,22 @@
+"""Fig. 7: per-worker communication of FractalNet vs worker count.
+
+Paper reference: DP traffic is ~constant in p; MPT traffic decreases
+(weights ~1/p, tiles ~1/sqrt(p)), crossing below DP at large p.
+"""
+
+from conftest import print_figure
+
+from repro.analysis import fig07_rows
+
+
+def test_fig07(benchmark):
+    rows = benchmark(fig07_rows)
+    print_figure(
+        "Fig. 7 — FractalNet per-worker communication vs workers (MB, log-scale in paper)",
+        rows,
+        note="paper: DP flat; MPT decreasing; crossover before p = 256",
+    )
+    assert rows[0]["mpt_MB"] > rows[0]["dp_MB"]  # small p: MPT worse
+    assert rows[-1]["mpt_MB"] < rows[-1]["dp_MB"]  # large p: MPT wins
+    mpt = [r["mpt_MB"] for r in rows]
+    assert all(a > b for a, b in zip(mpt, mpt[1:]))  # monotone decreasing

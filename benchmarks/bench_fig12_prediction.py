@@ -1,0 +1,34 @@
+"""Fig. 12 + Section V-B: activation-prediction accuracy and traffic
+reductions.
+
+Paper reference: 4-region non-uniform quantisation predicts best in every
+case; no false negatives; gather reduced 34.0% (2D predict) / 78.1%
+(1D predict); scatter zero-skip 39.3% / 64.7%.
+"""
+
+from conftest import print_figure
+
+from repro.analysis import fig12_rows
+
+
+def test_fig12(benchmark):
+    rows = benchmark(fig12_rows)
+    ratio_rows = [r for r in rows if "predicted_ratio" in r]
+    reduction_rows = [r for r in rows if "predicted_ratio" not in r]
+    print_figure(
+        "Fig. 12 — predicted vs actual non-activated tiles/lines",
+        ratio_rows,
+        note="paper: 4 regions best; dotted line (actual) is the upper limit",
+    )
+    print_figure(
+        "Section V-B — traffic reductions",
+        reduction_rows,
+        note="paper: gather 34.0% (2d) / 78.1% (1d); scatter 39.3% / 64.7%",
+    )
+    assert all(r["false_negatives"] == 0 for r in ratio_rows)
+    gather_1d = [
+        r["gather_traffic_reduction"]
+        for r in reduction_rows
+        if r.get("gather_traffic_reduction") is not None and r["mode"] == "1d"
+    ]
+    assert all(0.6 < v < 0.85 for v in gather_1d)

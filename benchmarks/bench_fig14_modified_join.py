@@ -1,0 +1,31 @@
+"""Fig. 14: standard vs modified (Winograd-domain) FractalNet join.
+
+Paper reference: the modified join — averaging Winograd-domain tiles and
+inverse-transforming once, with ReLU after the join — trains to the same
+validation accuracy as the standard spatial join.  (Both joins are linear
+so the two networks are mathematically identical; the curves must match.)
+"""
+
+import pytest
+from conftest import print_figure
+
+from repro.analysis import fig14_rows
+
+
+def test_fig14(benchmark):
+    rows = benchmark.pedantic(fig14_rows, kwargs={"epochs": 6}, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 14 — training with standard vs modified join",
+        rows,
+        note="paper: identical validation accuracy after 250 CIFAR-10 epochs",
+    )
+    spatial = {r["epoch"]: r for r in rows if r["join"] == "spatial"}
+    modified = {r["epoch"]: r for r in rows if r["join"] == "winograd"}
+    for epoch in spatial:
+        assert spatial[epoch]["loss"] == pytest.approx(
+            modified[epoch]["loss"], rel=1e-6
+        )
+        assert spatial[epoch]["val_accuracy"] == pytest.approx(
+            modified[epoch]["val_accuracy"], abs=1e-9
+        )
+    assert spatial[max(spatial)]["val_accuracy"] > 0.6

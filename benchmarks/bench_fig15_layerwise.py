@@ -1,0 +1,42 @@
+"""Fig. 15 (+ Table IV): layer-wise execution time and energy of the five
+Table II layers under the five system configurations, p = 256, batch 256.
+
+Paper reference: w_mp+ cuts Mid/Late layer time 2.24x/4.54x vs w_dp;
+w_mp++ averages 2.74x; dynamic clustering rescues the Early layer by
+falling back to data parallelism.
+"""
+
+from conftest import print_figure
+
+from repro.analysis import fig15_average_speedup, fig15_rows
+from repro.core import table4_configs
+
+
+def test_fig15(benchmark):
+    rows = benchmark(fig15_rows)
+    print_figure(
+        "Table IV — system configurations",
+        [
+            {
+                "abbr": c.name,
+                "conv": c.conv,
+                "parallelism": "MPT" if c.mpt else "data",
+                "update": c.update_domain,
+                "prediction": c.prediction,
+                "dyn_clustering": c.dynamic_clustering,
+            }
+            for c in table4_configs()
+        ],
+    )
+    print_figure(
+        "Fig. 15 — layer-wise time (normalised to w_dp fwd) and energy",
+        rows,
+        note="paper: w_mp++ average speedup 2.74x over w_dp",
+    )
+    avg = fig15_average_speedup(rows)
+    print(f"\nw_mp++ average speedup over w_dp: {avg:.2f}x (paper: 2.74x)")
+    late = [r for r in rows if r["layer"] == "Late-2" and r["config"] == "w_mp++"]
+    assert late[0]["speedup_vs_w_dp"] > 3.0
+    early = [r for r in rows if r["layer"] == "Early" and r["config"] == "w_mp++"]
+    assert early[0]["speedup_vs_w_dp"] > 0.95  # clustering rescues Early
+    assert avg > 1.8

@@ -1,0 +1,39 @@
+"""Fig. 17: entire-CNN scaling — multi-GPU vs NDP workers, batch 256.
+
+Paper reference: 8 GPUs scale sub-linearly; 256 NDP workers reach 71x
+(w_dp) and 191x (w_mp++) over one NDP worker; w_mp++ beats the 8-GPU
+system by 21.6x on average; FractalNet scales best thanks to the
+modified join.
+"""
+
+import statistics
+
+from conftest import print_figure
+
+from repro.analysis import fig17_rows
+
+
+def test_fig17(benchmark):
+    rows = benchmark.pedantic(fig17_rows, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 17 — throughput scaling, normalised to 1 NDP worker (w_dp)",
+        rows,
+        note="paper: 256-NDP w_dp 71x, w_mp++ 191x, 8-GPU beaten 21.6x",
+    )
+    for network in {r["network"] for r in rows}:
+        net_rows = {r["system"]: r for r in rows if r["network"] == network}
+        dp256 = net_rows["256-NDP w_dp"]["speedup_vs_1ndp"]
+        mpp256 = net_rows["256-NDP w_mp++"]["speedup_vs_1ndp"]
+        gpu8 = net_rows["8-GPU"]["images_per_s"]
+        gpu1 = net_rows["1-GPU"]["images_per_s"]
+        assert mpp256 > dp256  # MPT scales better than DP
+        assert gpu8 / gpu1 < 7.0  # sub-linear GPU scaling
+        assert net_rows["256-NDP w_mp++"]["images_per_s"] > 3.0 * gpu8
+    ratios = []
+    for network in {r["network"] for r in rows}:
+        net_rows = {r["system"]: r for r in rows if r["network"] == network}
+        ratios.append(
+            net_rows["256-NDP w_mp++"]["images_per_s"] / net_rows["8-GPU"]["images_per_s"]
+        )
+    print(f"\n256-NDP w_mp++ vs 8-GPU (batch 256): "
+          f"{statistics.mean(ratios):.1f}x average (paper: 21.6x)")

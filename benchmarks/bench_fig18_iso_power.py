@@ -1,0 +1,26 @@
+"""Fig. 18: best-batch 8-GPU vs 256-NDP (batch 256) — performance and
+performance per watt.
+
+Paper reference: with the GPU batch freed to 2K-4K, the NDP system with
+MPT still delivers 9.5x higher performance per watt on average at similar
+system power.
+"""
+
+import statistics
+
+from conftest import print_figure
+
+from repro.analysis import fig18_rows
+
+
+def test_fig18(benchmark):
+    rows = benchmark.pedantic(fig18_rows, rounds=1, iterations=1)
+    print_figure(
+        "Fig. 18 — 8-GPU best batch vs 256-NDP batch 256",
+        rows,
+        note="paper: 9.5x higher NDP performance/watt on average",
+    )
+    ratios = [r["perf_per_watt_ratio"] for r in rows]
+    print(f"\naverage perf/W ratio: {statistics.mean(ratios):.1f}x (paper: 9.5x)")
+    assert all(r["gpu_best_batch"] >= 1024 for r in rows)
+    assert all(ratio > 1.0 for ratio in ratios)

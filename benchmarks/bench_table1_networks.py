@@ -1,0 +1,18 @@
+"""Table I: the three evaluated CNNs and their parameter sizes.
+
+Paper reference: WRN-40-10 55.6M, FractalNet (4 block, 4 column) 164M.
+"""
+
+import pytest
+from conftest import print_figure
+
+from repro.analysis import table1_rows
+
+
+def test_table1(benchmark):
+    rows = benchmark(table1_rows)
+    print_figure("Table I — evaluated CNNs", rows,
+                 note="paper: WRN-40-10 55.6M, FractalNet 164M params")
+    by_name = {r["network"]: r for r in rows}
+    assert by_name["WRN-40-10"]["params_M"] == pytest.approx(55.6, rel=0.02)
+    assert by_name["FractalNet"]["params_M"] == pytest.approx(164, rel=0.03)

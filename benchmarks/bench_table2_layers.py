@@ -1,0 +1,18 @@
+"""Table II: the five evaluated convolution layers.
+
+The numeric contents of Table II were lost in the paper-text extraction;
+these layers are reconstructed from the paper's Early/Mid/Late
+description on the standard VGG-16 ladder (see DESIGN.md).
+"""
+
+from conftest import print_figure
+
+from repro.analysis import table2_rows
+
+
+def test_table2(benchmark):
+    rows = benchmark(table2_rows)
+    print_figure("Table II — evaluated layers (reconstructed)", rows)
+    assert len(rows) == 5
+    # Early: large map, small weights; Late: the reverse.
+    assert rows[0]["weight_KB"] < rows[-1]["weight_KB"]

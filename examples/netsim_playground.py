@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Network-simulator playground.
+
+Runs the event-driven memory-centric network simulator on the paper's two
+collective patterns — pipelined ring all-reduce (weight gradients) and
+cluster all-to-all (tile transfer) — and compares against the closed-form
+models the performance analysis uses.  Also demonstrates the hybrid
+topology of Fig. 9 (rings per group + FBFLY per cluster).
+
+Run: ``python examples/netsim_playground.py``
+"""
+
+from repro.netsim import (
+    NetworkSimulator,
+    all_to_all,
+    all_to_all_time,
+    fbfly_injection_rate,
+    flattened_butterfly_2d,
+    hybrid,
+    ring,
+    ring_allreduce,
+    ring_allreduce_time,
+)
+from repro.params import DEFAULT_PARAMS
+
+
+def main() -> None:
+    params = DEFAULT_PARAMS
+
+    print("=== Pipelined ring all-reduce (weight gradients) ===")
+    for nodes, megabytes in ((8, 1.0), (16, 1.0), (16, 4.0)):
+        topo = ring(nodes, params)
+        sim = NetworkSimulator(topo, params, packet_bytes=params.collective_packet_bytes)
+        size = int(megabytes * 1e6)
+        result = ring_allreduce(sim, list(range(nodes)), size)
+        closed = ring_allreduce_time(size, nodes, params.full_link_bytes_per_s)
+        print(f"{nodes:3d} nodes, {megabytes:.0f} MB: simulated "
+              f"{result.finish_time_s * 1e6:8.1f} us, closed form "
+              f"{closed * 1e6:8.1f} us ({result.finish_time_s / closed:.3f}x)")
+
+    print("\n=== Cluster all-to-all (tile transfer) on a 4x4 FBFLY ===")
+    for kilobytes in (16, 64):
+        topo = flattened_butterfly_2d(4, 4, params)
+        sim = NetworkSimulator(topo, params, packet_bytes=params.data_packet_bytes)
+        size = kilobytes * 1024
+        result = all_to_all(sim, list(range(16)), size)
+        closed = all_to_all_time(size, 16, fbfly_injection_rate(16, params))
+        print(f"{kilobytes:3d} KB/pair: simulated {result.finish_time_s * 1e6:8.1f} us, "
+              f"closed form {closed * 1e6:8.1f} us "
+              f"({result.finish_time_s / closed:.3f}x)")
+
+    print("\n=== Hybrid topology (Fig. 9): 4 groups x 4 clusters ===")
+    topo, layout = hybrid(4, 4, params)
+    print(f"{topo.num_nodes} workers, {len(topo.links)} unidirectional links")
+    sim = NetworkSimulator(topo, params, packet_bytes=params.collective_packet_bytes)
+    group = layout.group_members(0)
+    result = ring_allreduce(sim, group, 500_000)
+    print(f"group-0 ring all-reduce of 0.5 MB over {len(group)} workers: "
+          f"{result.finish_time_s * 1e6:.1f} us")
+    sim2 = NetworkSimulator(topo, params, packet_bytes=params.data_packet_bytes)
+    cluster = layout.cluster_members(1)
+    result2 = all_to_all(sim2, cluster, 50_000)
+    print(f"cluster-1 all-to-all of 50 KB/pair over {len(cluster)} workers: "
+          f"{result2.finish_time_s * 1e6:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

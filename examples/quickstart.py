@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Quickstart: the three layers of the reproduction in one script.
+
+1. Winograd math — build ``F(2x2, 3x3)``, run a convolution both ways
+   and check they agree.
+2. Training — fit a small Winograd-layer CNN on a synthetic dataset.
+3. Architecture simulation — simulate one MPT training iteration of the
+   Table II Late layer on the 256-worker NDP machine and compare the
+   Table IV configurations.
+
+Run: ``python examples/quickstart.py``
+"""
+
+import numpy as np
+
+from repro.core import MachineConfig, TrainingSimulator, table4_configs
+from repro.nn import evaluate, small_cnn, train, train_val_datasets
+from repro.params import DEFAULT_PARAMS
+from repro.winograd import conv2d_forward, make_transform, winograd_forward_spatial
+from repro.workloads import five_layers
+
+
+def demo_winograd_math() -> None:
+    print("=== 1. Winograd transform F(2x2, 3x3) ===")
+    transform = make_transform(2, 3)
+    print(f"tile size T = {transform.tile}, B/G/A shapes: "
+          f"{transform.B.shape}/{transform.G.shape}/{transform.A.shape}")
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((1, 3, 8, 8))
+    w = rng.standard_normal((4, 3, 3, 3))
+    direct = conv2d_forward(x, w, pad=1)
+    wino, _ = winograd_forward_spatial(x, w, transform, pad=1)
+    print(f"max |direct - winograd| = {np.max(np.abs(direct - wino)):.2e}\n")
+
+
+def demo_training() -> None:
+    print("=== 2. Training a Winograd-layer CNN ===")
+    train_data, val_data = train_val_datasets(192, 64, classes=4, size=12, seed=0)
+    net = small_cnn(classes=4, width=8, use_winograd=True, seed=0)
+    curve = train(net, train_data, val_data, epochs=3, batch_size=32, lr=0.05)
+    for epoch, (loss, acc) in enumerate(
+        zip(curve.losses, curve.val_accuracies), start=1
+    ):
+        print(f"epoch {epoch}: loss {loss:.3f}  val accuracy {acc:.2f}")
+    print(f"final accuracy {evaluate(net, val_data):.2f}\n")
+
+
+def demo_simulation() -> None:
+    print("=== 3. MPT on the 256-worker NDP machine (Table II Late layer) ===")
+    print(f"machine: 256 workers, {DEFAULT_PARAMS.systolic_rows}x"
+          f"{DEFAULT_PARAMS.systolic_cols} MACs @ {DEFAULT_PARAMS.clock_hz/1e9:.0f} GHz, "
+          f"{DEFAULT_PARAMS.dram_bytes_per_s/1e9:.0f} GB/s stacks (Table III)")
+    layer = five_layers()[-1]
+    sim = TrainingSimulator(MachineConfig(workers=256, batch=256))
+    baseline = None
+    for config in table4_configs():
+        report = sim.evaluate_single_layer(layer, config)
+        total = report.forward_s + report.backward_s
+        if config.name == "w_dp":
+            baseline = total
+        speedup = f"  ({baseline / total:4.2f}x vs w_dp)" if baseline else ""
+        print(f"{config.name:7s} grid ({report.grid.num_groups:2d},"
+              f"{report.grid.num_clusters:3d})  fwd {report.forward_s*1e6:7.1f} us  "
+              f"bwd {report.backward_s*1e6:7.1f} us{speedup}")
+
+
+if __name__ == "__main__":
+    demo_winograd_math()
+    demo_training()
+    demo_simulation()

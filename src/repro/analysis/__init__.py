@@ -1,0 +1,33 @@
+"""Per-figure data generators and table rendering."""
+
+from .figures import (
+    fig01_rows,
+    fig06_rows,
+    fig07_rows,
+    fig12_rows,
+    fig14_rows,
+    fig15_average_speedup,
+    fig15_rows,
+    fig16_rows,
+    fig17_rows,
+    fig18_rows,
+    table1_rows,
+    table2_rows,
+)
+from .tables import format_table
+
+__all__ = [
+    "fig01_rows",
+    "fig06_rows",
+    "fig07_rows",
+    "fig12_rows",
+    "fig14_rows",
+    "fig15_average_speedup",
+    "fig15_rows",
+    "fig16_rows",
+    "fig17_rows",
+    "fig18_rows",
+    "table1_rows",
+    "table2_rows",
+    "format_table",
+]

@@ -1,0 +1,65 @@
+"""Text-mode Gantt rendering of simulated task schedules.
+
+Turns the :class:`repro.ndp.TaskExecutor` schedule into an ASCII timeline
+so the compute/communication overlap of a training iteration can be
+inspected (e.g. collectives hiding behind backward compute).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..ndp.taskgraph import ScheduleEntry
+
+
+def render_timeline(
+    schedule: Sequence[ScheduleEntry],
+    width: int = 72,
+    max_rows: int = 40,
+) -> str:
+    """Render a schedule as one row per resource.
+
+    Each task paints its name's first letters over its time span; ``.``
+    marks idle time.
+    """
+    if not schedule:
+        return "(empty schedule)"
+    end = max(entry.finish_s for entry in schedule)
+    if end <= 0:
+        return "(zero-length schedule)"
+    scale = width / end
+
+    by_resource: Dict[str, List[ScheduleEntry]] = {}
+    for entry in schedule:
+        by_resource.setdefault(entry.resource, []).append(entry)
+
+    lines = [f"timeline: 1 column = {end / width * 1e6:.2f} us, total "
+             f"{end * 1e6:.1f} us"]
+    for resource in sorted(by_resource):
+        row = ["."] * width
+        for entry in by_resource[resource]:
+            start = min(width - 1, int(entry.start_s * scale))
+            stop = max(start + 1, min(width, int(entry.finish_s * scale)))
+            label = (entry.name * width)[: stop - start]
+            for offset, ch in enumerate(label):
+                row[start + offset] = ch
+        lines.append(f"{resource:>12} |{''.join(row)}|")
+        if len(lines) > max_rows:
+            lines.append(f"... ({len(by_resource) - max_rows} more resources)")
+            break
+    return "\n".join(lines)
+
+
+def utilization(schedule: Sequence[ScheduleEntry]) -> Dict[str, float]:
+    """Busy fraction per resource over the makespan."""
+    if not schedule:
+        return {}
+    end = max(entry.finish_s for entry in schedule)
+    if end <= 0:
+        return {}
+    busy: Dict[str, float] = {}
+    for entry in schedule:
+        busy[entry.resource] = busy.get(entry.resource, 0.0) + (
+            entry.finish_s - entry.start_s
+        )
+    return {resource: time / end for resource, time in busy.items()}

@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands regenerate individual paper figures/tables, run the example
+simulations, or print the machine configuration — the quickest way for a
+downstream user to poke at the reproduction without writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List
+
+from .analysis import (
+    fig01_rows,
+    fig06_rows,
+    fig07_rows,
+    fig12_rows,
+    fig14_rows,
+    fig15_average_speedup,
+    fig15_rows,
+    fig16_rows,
+    fig17_rows,
+    fig18_rows,
+    format_table,
+    table1_rows,
+    table2_rows,
+)
+
+
+def _print_rows(rows: List[dict]) -> None:
+    if not rows:
+        print("(no rows)")
+        return
+    keys: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in keys:
+                keys.append(key)
+    print(format_table(keys, [[row.get(k, "") for k in keys] for row in rows]))
+
+
+def cmd_machine(_args: argparse.Namespace) -> None:
+    """Print the Table III machine configuration."""
+    from .params import DEFAULT_PARAMS as p
+
+    print("NDP machine (paper Table III / Section VI):")
+    print(f"  workers              256 (16 groups x 16 clusters)")
+    print(f"  logic/router clock   {p.clock_hz / 1e9:.1f} GHz")
+    print(f"  systolic array       {p.systolic_rows}x{p.systolic_cols} FP32 MACs")
+    print(f"  DRAM bandwidth       {p.dram_bytes_per_s / 1e9:.0f} GB/s per stack")
+    print(f"  full link            {p.full_link_bytes_per_s / 1e9:.0f} GB/s per direction")
+    print(f"  narrow link          {p.narrow_link_bytes_per_s / 1e9:.0f} GB/s per direction")
+    print(f"  collective packet    {p.collective_packet_bytes} B")
+    print(f"  SerDes latency       {p.serdes_latency_s * 1e9:.1f} ns per hop")
+
+
+def cmd_simulate(args: argparse.Namespace) -> None:
+    """Simulate one training iteration of a Table I network."""
+    from .core import MachineConfig, TrainingSimulator, table4_configs
+    from .workloads import table1_networks
+
+    networks = {n.name.lower(): n for n in table1_networks()}
+    net = networks.get(args.network.lower())
+    if net is None:
+        sys.exit(f"unknown network {args.network!r}; choose from "
+                 f"{sorted(networks)}")
+    sim = TrainingSimulator(MachineConfig(workers=args.workers, batch=args.batch))
+    print(f"{net.name}: {len(net.conv_layers)} convolutions, "
+          f"{net.param_count / 1e6:.1f}M parameters, "
+          f"{args.workers} workers, batch {args.batch}\n")
+    rows = []
+    for config in table4_configs():
+        result = sim.simulate_iteration(net, config)
+        rows.append(
+            {
+                "config": config.name,
+                "iteration_ms": result.iteration_s * 1e3,
+                "images_per_s": result.images_per_s,
+            }
+        )
+    _print_rows(rows)
+
+
+def cmd_timeline(args: argparse.Namespace) -> None:
+    """Render the task timeline of one simulated iteration."""
+    from .analysis.timeline import render_timeline, utilization
+    from .core import MachineConfig, TrainingSimulator, w_dp, w_mp_plus_plus
+    from .workloads import table1_networks
+
+    networks = {n.name.lower(): n for n in table1_networks()}
+    net = networks.get(args.network.lower())
+    if net is None:
+        sys.exit(f"unknown network {args.network!r}")
+    config = w_mp_plus_plus() if args.config == "w_mp++" else w_dp()
+    sim = TrainingSimulator(MachineConfig(workers=args.workers, batch=args.batch))
+    result = sim.simulate_iteration(net, config)
+    print(render_timeline(result.schedule))
+    for resource, busy in sorted(utilization(result.schedule).items()):
+        print(f"{resource:>12} utilisation {busy:.0%}")
+
+
+FIGURES: Dict[str, Callable[[], List[dict]]] = {
+    "fig1": fig01_rows,
+    "fig6": fig06_rows,
+    "fig7": fig07_rows,
+    "fig12": fig12_rows,
+    "fig14": fig14_rows,
+    "fig15": fig15_rows,
+    "fig16": fig16_rows,
+    "fig17": fig17_rows,
+    "fig18": fig18_rows,
+    "table1": table1_rows,
+    "table2": table2_rows,
+}
+
+
+def cmd_figure(args: argparse.Namespace) -> None:
+    """Regenerate one paper figure/table."""
+    generator = FIGURES.get(args.name)
+    if generator is None:
+        sys.exit(f"unknown figure {args.name!r}; choose from {sorted(FIGURES)}")
+    rows = generator()
+    _print_rows(rows)
+    if args.name == "fig15":
+        print(f"\nw_mp++ average speedup: {fig15_average_speedup(rows):.2f}x "
+              "(paper: 2.74x)")
+
+
+def cmd_report(args: argparse.Namespace) -> None:
+    """Regenerate every figure/table into one markdown report."""
+    from .analysis.report import generate_report
+
+    text = generate_report(fast=args.fast)
+    with open(args.output, "w") as handle:
+        handle.write(text)
+    print(f"wrote {args.output} ({len(text.splitlines())} lines)")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MICRO'18 MPT-on-NDP reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("machine", help="print the machine configuration").set_defaults(
+        func=cmd_machine
+    )
+
+    p_sim = sub.add_parser("simulate", help="simulate a training iteration")
+    p_sim.add_argument("network", help="WRN-40-10 | ResNet-34 | FractalNet")
+    p_sim.add_argument("--workers", type=int, default=256)
+    p_sim.add_argument("--batch", type=int, default=256)
+    p_sim.set_defaults(func=cmd_simulate)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure/table")
+    p_fig.add_argument("name", help=f"one of {sorted(FIGURES)}")
+    p_fig.set_defaults(func=cmd_figure)
+
+    p_tl = sub.add_parser("timeline", help="render an iteration's task timeline")
+    p_tl.add_argument("network")
+    p_tl.add_argument("--config", choices=["w_dp", "w_mp++"], default="w_mp++")
+    p_tl.add_argument("--workers", type=int, default=256)
+    p_tl.add_argument("--batch", type=int, default=256)
+    p_tl.set_defaults(func=cmd_timeline)
+
+    p_rep = sub.add_parser("report", help="write the full markdown report")
+    p_rep.add_argument("-o", "--output", default="report.md")
+    p_rep.add_argument("--fast", action="store_true",
+                       help="skip the slow training/sweep sections")
+    p_rep.set_defaults(func=cmd_report)
+    return parser
+
+
+def main(argv: List[str] | None = None) -> None:
+    args = build_parser().parse_args(argv)
+    args.func(args)
+
+
+if __name__ == "__main__":
+    main()

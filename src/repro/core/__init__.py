@@ -1,0 +1,76 @@
+"""Multi-dimensional parallel training — the paper's core contribution."""
+
+from .comm_model import (
+    DEFAULT_FACTORS,
+    CommVolume,
+    TrafficFactors,
+    layer_comm_volume,
+    tile_transfer_bytes,
+    transform_for,
+    uses_1d_transfer,
+    weight_collective_bytes,
+)
+from .config import (
+    GridConfig,
+    MachineConfig,
+    SystemConfig,
+    clustering_candidates,
+    d_dp,
+    default_grid,
+    table4_configs,
+    w_dp,
+    w_mp,
+    w_mp_plus,
+    w_mp_plus_plus,
+)
+from .dynamic_clustering import (
+    ClusteringChoice,
+    candidate_grids,
+    choose_clustering,
+    choose_clustering_and_transform,
+)
+from .functional import (
+    MptLayerMachine,
+    MptNetworkMachine,
+    MptWorker,
+    TrafficCounters,
+)
+from .perf_model import LayerPerf, PerfModel, PhasePerf, powered_links
+from .trainer import IterationResult, LayerReport, TrainingSimulator
+
+__all__ = [
+    "DEFAULT_FACTORS",
+    "CommVolume",
+    "TrafficFactors",
+    "layer_comm_volume",
+    "tile_transfer_bytes",
+    "transform_for",
+    "uses_1d_transfer",
+    "weight_collective_bytes",
+    "GridConfig",
+    "MachineConfig",
+    "SystemConfig",
+    "clustering_candidates",
+    "d_dp",
+    "default_grid",
+    "table4_configs",
+    "w_dp",
+    "w_mp",
+    "w_mp_plus",
+    "w_mp_plus_plus",
+    "ClusteringChoice",
+    "candidate_grids",
+    "choose_clustering",
+    "choose_clustering_and_transform",
+    "MptLayerMachine",
+    "MptNetworkMachine",
+    "MptWorker",
+    "TrafficCounters",
+    "LayerPerf",
+    "PerfModel",
+    "PhasePerf",
+    "powered_links",
+    "IterationResult",
+    "LayerReport",
+    "TrainingSimulator",
+]

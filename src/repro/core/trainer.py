@@ -1,0 +1,156 @@
+"""End-to-end training-iteration simulation (paper Sections VI-A, VII).
+
+Builds the per-iteration task graph the host constructs at training start
+(forward chain, backward chain, per-layer weight collectives) and executes
+it with the NDP task scheduler, letting weight collectives overlap with
+the backward compute of earlier layers exactly as the pipelined collective
+engine allows.  Produces per-layer and whole-network iteration times and
+energy for any Table IV configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ndp.energy import EnergyBreakdown
+from ..ndp.taskgraph import TaskExecutor, TaskGraph
+from ..workloads.layers import ConvLayerSpec
+from ..workloads.networks import CnnSpec
+from .comm_model import DEFAULT_FACTORS, TrafficFactors
+from .config import GridConfig, MachineConfig, SystemConfig
+from .dynamic_clustering import ClusteringChoice, choose_clustering
+from .perf_model import LayerPerf, PerfModel
+
+
+@dataclass
+class LayerReport:
+    """One layer's simulated iteration under a configuration."""
+
+    layer: ConvLayerSpec
+    grid: GridConfig
+    perf: LayerPerf
+
+    @property
+    def forward_s(self) -> float:
+        return self.perf.forward_s
+
+    @property
+    def backward_s(self) -> float:
+        return self.perf.backward_s
+
+
+@dataclass
+class IterationResult:
+    """Whole-network result of one simulated training iteration."""
+
+    config_name: str
+    workers: int
+    batch: int
+    layers: List[LayerReport] = field(default_factory=list)
+    iteration_s: float = 0.0
+    #: Task-level schedule (for timeline rendering / overlap inspection).
+    schedule: list = field(default_factory=list)
+
+    @property
+    def forward_s(self) -> float:
+        return sum(r.forward_s for r in self.layers)
+
+    @property
+    def backward_s(self) -> float:
+        return sum(r.backward_s for r in self.layers)
+
+    @property
+    def energy_j(self) -> EnergyBreakdown:
+        total = EnergyBreakdown()
+        for report in self.layers:
+            total = total + report.perf.energy_j
+        # Per-worker energy -> machine energy.
+        return total.scaled(self.workers)
+
+    @property
+    def images_per_s(self) -> float:
+        return self.batch / self.iteration_s if self.iteration_s else 0.0
+
+
+class TrainingSimulator:
+    """Simulates synchronous-SGD iterations of a CNN on the NDP machine."""
+
+    def __init__(
+        self,
+        machine: Optional[MachineConfig] = None,
+        factors: TrafficFactors = DEFAULT_FACTORS,
+    ) -> None:
+        self.machine = machine or MachineConfig()
+        self.model = PerfModel(self.machine.params, factors)
+
+    def plan_layers(
+        self, net: CnnSpec, config: SystemConfig
+    ) -> List[ClusteringChoice]:
+        """Pick a grid per layer (dynamic clustering when enabled)."""
+        return [
+            choose_clustering(
+                layer, self.machine.batch, config, self.machine.workers, self.model
+            )
+            for layer in net.conv_layers
+        ]
+
+    def simulate_iteration(self, net: CnnSpec, config: SystemConfig) -> IterationResult:
+        """One training iteration: forward over all layers, backward in
+        reverse, weight collectives overlapped with remaining backward
+        work through the task graph."""
+        choices = self.plan_layers(net, config)
+        result = IterationResult(
+            config_name=config.name,
+            workers=self.machine.workers,
+            batch=self.machine.batch,
+        )
+        graph = TaskGraph()
+        previous_fprop: Optional[str] = None
+        for index, choice in enumerate(choices):
+            perf = choice.perf
+            result.layers.append(
+                LayerReport(layer=choice.layer, grid=choice.chosen, perf=perf)
+            )
+            deps = [previous_fprop] if previous_fprop else []
+            graph.add_task(
+                f"f{index}",
+                duration_s=perf.phases["fprop"].time_s,
+                resource="compute",
+                deps=deps,
+            )
+            previous_fprop = f"f{index}"
+        previous_bprop: Optional[str] = previous_fprop
+        for index in range(len(choices) - 1, -1, -1):
+            perf = choices[index].perf
+            update = perf.phases["update"]
+            compute_side = max(update.compute_s, update.dram_s)
+            graph.add_task(
+                f"b{index}",
+                duration_s=perf.phases["bprop"].time_s + compute_side,
+                resource="compute",
+                deps=[previous_bprop] if previous_bprop else [],
+            )
+            # The collective only occupies the network; it can overlap
+            # with the backward compute of earlier (shallower) layers.
+            graph.add_task(
+                f"c{index}",
+                duration_s=update.net_collective_s,
+                resource="network",
+                deps=[f"b{index}"],
+            )
+            previous_bprop = f"b{index}"
+        executor = TaskExecutor(graph)
+        result.iteration_s = executor.run()
+        result.schedule = executor.schedule
+        return result
+
+    def evaluate_single_layer(
+        self, layer: ConvLayerSpec, config: SystemConfig
+    ) -> LayerReport:
+        """Layer-wise evaluation used by Fig. 15/16: one layer trained in
+        isolation (forward + backward including its collective)."""
+        choice = choose_clustering(
+            layer, self.machine.batch, config, self.machine.workers, self.model
+        )
+        return LayerReport(layer=layer, grid=choice.chosen, perf=choice.perf)

@@ -1,0 +1,22 @@
+"""Multi-GPU (DGX-1-class) baseline substrate."""
+
+from .dgx import DgxResult, DgxSystem
+from .gpu_model import (
+    DEFAULT_GPU,
+    GpuParams,
+    kernel_efficiency,
+    layer_phase_time,
+    training_iteration_compute_s,
+)
+from .nccl import nccl_allreduce_time
+
+__all__ = [
+    "DgxResult",
+    "DgxSystem",
+    "DEFAULT_GPU",
+    "GpuParams",
+    "kernel_efficiency",
+    "layer_phase_time",
+    "training_iteration_compute_s",
+    "nccl_allreduce_time",
+]

@@ -1,0 +1,76 @@
+"""DGX-1-class multi-GPU system model (paper Section VII-C).
+
+Data-parallel synchronous SGD: the batch splits across GPUs, every GPU
+runs forward/backward/update on its shard, and weight gradients
+all-reduce over NVLink.  TensorFlow-1.4-era training overlaps the
+all-reduce only partially with the backward pass; ``overlap_fraction``
+models the hidden share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from ..workloads.networks import CnnSpec
+from .gpu_model import DEFAULT_GPU, GpuParams, training_iteration_compute_s
+from .nccl import nccl_allreduce_time
+
+
+@dataclass
+class DgxResult:
+    """One simulated multi-GPU training iteration."""
+
+    num_gpus: int
+    batch: int
+    compute_s: float
+    allreduce_s: float
+    iteration_s: float
+
+    @property
+    def images_per_s(self) -> float:
+        return self.batch / self.iteration_s if self.iteration_s else 0.0
+
+
+@dataclass
+class DgxSystem:
+    """An ``n``-GPU NVLink-connected node."""
+
+    params: GpuParams = field(default_factory=lambda: DEFAULT_GPU)
+    overlap_fraction: float = 0.3
+
+    def simulate_iteration(
+        self, net: CnnSpec, batch: int, num_gpus: int
+    ) -> DgxResult:
+        """One synchronous-SGD iteration at fixed *total* batch."""
+        if num_gpus < 1:
+            raise ValueError(f"num_gpus must be >= 1, got {num_gpus}")
+        batch_per_gpu = batch / num_gpus
+        compute = training_iteration_compute_s(net, batch_per_gpu, self.params)
+        grad_bytes = net.param_count * self.params.grad_bytes
+        allreduce = nccl_allreduce_time(grad_bytes, num_gpus, self.params)
+        exposed = allreduce * (1.0 - self.overlap_fraction)
+        return DgxResult(
+            num_gpus=num_gpus,
+            batch=batch,
+            compute_s=compute,
+            allreduce_s=allreduce,
+            iteration_s=compute + exposed,
+        )
+
+    def best_batch(
+        self, net: CnnSpec, num_gpus: int, candidates: List[int] = (256, 512, 1024, 2048, 4096)
+    ) -> DgxResult:
+        """Sweep the total batch and return the best-throughput result
+        (paper Fig. 18's 2K-4K best-batch GPU configuration)."""
+        best: DgxResult | None = None
+        for batch in candidates:
+            result = self.simulate_iteration(net, batch, num_gpus)
+            if best is None or result.images_per_s > best.images_per_s:
+                best = result
+        assert best is not None
+        return best
+
+    def power_w(self, num_gpus: int, host_w: float = 300.0) -> float:
+        """System power: GPU boards plus host."""
+        return num_gpus * self.params.power_w + host_w

@@ -1,0 +1,85 @@
+"""Analytic model of a Volta-class GPU running cuDNN Winograd kernels.
+
+**Substitution note (DESIGN.md):** the paper measures a real DGX-1
+(8x V100, TensorFlow 1.4, cuDNN 7, FP16 tensor cores).  We model each GPU
+as a roofline with a batch-dependent efficiency term: cuDNN convolution
+kernels lose efficiency rapidly when the per-GPU batch (and therefore the
+implicit GEMM's row count) shrinks, which is exactly what produces the
+sub-linear multi-GPU scaling of paper Fig. 17 at fixed total batch.
+
+Constants are calibrated so a single V100 sustains the publicly reported
+~0.5-0.7k ImageNet images/s on ResNet-class models at large batch.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..workloads.layers import ConvLayerSpec
+from ..workloads.networks import CnnSpec
+
+
+@dataclass(frozen=True)
+class GpuParams:
+    """V100-class device constants."""
+
+    #: Peak FP16 tensor-core throughput.
+    peak_flops: float = 125e12
+    #: HBM2 bandwidth.
+    mem_bytes_per_s: float = 900e9
+    #: NVLink links per GPU x per-direction bandwidth.
+    nvlinks: int = 6
+    nvlink_bytes_per_s: float = 25e9
+    #: Kernel launch + framework overhead per layer phase.
+    launch_overhead_s: float = 20e-6
+    #: Peak fraction reachable by cuDNN conv kernels at large batch.
+    base_efficiency: float = 0.35
+    #: GEMM row count at which efficiency reaches half of base.
+    rows_half_sat: float = 3000.0
+    #: Board power.
+    power_w: float = 300.0
+    #: Gradient element size (FP16 training).
+    grad_bytes: int = 2
+
+
+DEFAULT_GPU = GpuParams()
+
+
+def kernel_efficiency(gemm_rows: float, params: GpuParams = DEFAULT_GPU) -> float:
+    """Batch-dependent fraction of peak a conv kernel sustains."""
+    if gemm_rows <= 0:
+        return 0.0
+    return params.base_efficiency * gemm_rows / (gemm_rows + params.rows_half_sat)
+
+
+def layer_phase_time(
+    layer: ConvLayerSpec,
+    batch_per_gpu: float,
+    params: GpuParams = DEFAULT_GPU,
+) -> float:
+    """Time of one phase (fprop; bprop and update cost the same FLOPs)."""
+    flops = 2.0 * layer.direct_macs(max(1, round(batch_per_gpu)))
+    # cuDNN's Winograd kernels cut arithmetic ~2.5x for 3x3 but we model
+    # throughput against direct FLOPs with the efficiency folded in, as
+    # vendor rooflines conventionally do.
+    gemm_rows = batch_per_gpu * layer.out_height * layer.out_width
+    eff = kernel_efficiency(gemm_rows, params)
+    compute_s = flops / (params.peak_flops * eff) if eff > 0 else float("inf")
+    bytes_moved = (
+        layer.input_count(max(1, round(batch_per_gpu)))
+        + layer.output_count(max(1, round(batch_per_gpu)))
+    ) * params.grad_bytes + layer.weight_count * params.grad_bytes
+    memory_s = bytes_moved / params.mem_bytes_per_s
+    return max(compute_s, memory_s) + params.launch_overhead_s
+
+
+def training_iteration_compute_s(
+    net: CnnSpec, batch_per_gpu: float, params: GpuParams = DEFAULT_GPU
+) -> float:
+    """Forward + backward + weight-gradient compute of one iteration."""
+    total = 0.0
+    for layer in net.conv_layers:
+        # fprop, bprop and updateGrad are each one convolution-shaped pass.
+        total += 3.0 * layer_phase_time(layer, batch_per_gpu, params)
+    return total

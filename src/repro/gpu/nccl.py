@@ -1,0 +1,24 @@
+"""NCCL-style ring all-reduce over NVLink (paper Section VII-C).
+
+The DGX-1's six NVLinks per GPU form six independent rings over eight
+GPUs; NCCL splits the gradient buffer across the rings and runs the
+bandwidth-optimal ``2 (n-1)/n`` pipelined algorithm on each.
+"""
+
+from __future__ import annotations
+
+from .gpu_model import DEFAULT_GPU, GpuParams
+
+
+def nccl_allreduce_time(
+    grad_bytes: float,
+    num_gpus: int,
+    params: GpuParams = DEFAULT_GPU,
+    call_overhead_s: float = 50e-6,
+) -> float:
+    """Seconds for one all-reduce of ``grad_bytes`` across ``num_gpus``."""
+    if num_gpus <= 1:
+        return 0.0
+    ring_bw = params.nvlinks * params.nvlink_bytes_per_s
+    bandwidth_term = 2.0 * (num_gpus - 1) / num_gpus * grad_bytes / ring_bw
+    return bandwidth_term + call_overhead_s

@@ -1,0 +1,87 @@
+"""Energy model (paper Section VII-A).
+
+Four factors, as in Fig. 15's breakdown: compute units, SRAM access,
+DRAM access, and memory-centric-network link energy (with the idle-power
+term the paper highlights for the high-speed SerDes interfaces).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..params import DEFAULT_PARAMS, HardwareParams
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules by component; add breakdowns with ``+``."""
+
+    compute_j: float = 0.0
+    sram_j: float = 0.0
+    dram_j: float = 0.0
+    link_j: float = 0.0
+    link_idle_j: float = 0.0
+
+    @property
+    def total_j(self) -> float:
+        return (
+            self.compute_j + self.sram_j + self.dram_j + self.link_j + self.link_idle_j
+        )
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_j=self.compute_j + other.compute_j,
+            sram_j=self.sram_j + other.sram_j,
+            dram_j=self.dram_j + other.dram_j,
+            link_j=self.link_j + other.link_j,
+            link_idle_j=self.link_idle_j + other.link_idle_j,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            compute_j=self.compute_j * factor,
+            sram_j=self.sram_j * factor,
+            dram_j=self.dram_j * factor,
+            link_j=self.link_j * factor,
+            link_idle_j=self.link_idle_j * factor,
+        )
+
+
+class EnergyModel:
+    """Converts activity counts into joules using the shared constants."""
+
+    def __init__(self, params: HardwareParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+
+    def mac_energy(self, macs: float) -> float:
+        """One MAC = one FP32 multiply + one FP32 add."""
+        return macs * (self.params.fp32_add_pj + self.params.fp32_mul_pj) * 1e-12
+
+    def flop_energy(self, flops: float) -> float:
+        """Vector/transform FLOPs: counted half add, half mul."""
+        return (
+            flops
+            * 0.5
+            * (self.params.fp32_add_pj + self.params.fp32_mul_pj)
+            * 1e-12
+        )
+
+    def dram_energy(self, nbytes: float) -> float:
+        return nbytes * 8 * self.params.dram_pj_per_bit * 1e-12
+
+    def sram_energy(self, nbytes: float) -> float:
+        return nbytes * 8 * self.params.sram_pj_per_bit * 1e-12
+
+    def link_energy(self, nbytes: float) -> float:
+        return nbytes * 8 * self.params.link_pj_per_bit * 1e-12
+
+    def link_idle_energy(
+        self, seconds: float, full_links: int, narrow_links: int
+    ) -> float:
+        """Idle (always-on SerDes) energy over a time window for the
+        powered link directions."""
+        power = (
+            full_links * self.params.full_link_idle_w
+            + narrow_links * self.params.narrow_link_idle_w
+        )
+        return power * seconds

@@ -1,0 +1,84 @@
+"""Timing model of the NDP systolic array (paper Section VI-B).
+
+A weight-stationary ``rows x cols`` MAC array computes ``M x K x N``
+matrix products by tiling: each ``rows x cols`` weight tile is loaded,
+then ``M`` activation rows stream through.  One side of the array streams
+from the on-chip buffer and the other from DRAM in the worst case, which
+is what sizes the paper's 64 x 64 array against the 320 GB/s stack
+(Section VI-B's bandwidth-balance argument, reproduced in
+:func:`required_stream_bandwidth`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..params import DEFAULT_PARAMS, HardwareParams
+
+
+@dataclass(frozen=True)
+class GemmTiming:
+    """Cycle count and utilisation of one GEMM on the systolic array."""
+
+    m: int
+    k: int
+    n: int
+    cycles: int
+    macs: int
+
+    @property
+    def utilization(self) -> float:
+        peak = self.cycles * DEFAULT_PARAMS.macs_per_cycle
+        return self.macs / peak if peak else 0.0
+
+
+def gemm_cycles(
+    m: int, k: int, n: int, params: HardwareParams = DEFAULT_PARAMS
+) -> GemmTiming:
+    """Cycles to compute an ``(M x K) @ (K x N)`` product.
+
+    Weight-stationary mapping: the ``K x N`` operand is tiled into
+    ``ceil(K/rows) * ceil(N/cols)`` array loads; each load streams ``M``
+    activation rows through the array.  Weight tiles are double-buffered
+    (Section VI-B), so successive tiles stream back to back and only one
+    pipeline fill/flush of ``rows + cols`` cycles remains for the whole
+    product.
+    """
+    if min(m, k, n) < 1:
+        raise ValueError(f"GEMM dims must be positive, got {(m, k, n)}")
+    rows, cols = params.systolic_rows, params.systolic_cols
+    k_tiles = math.ceil(k / rows)
+    n_tiles = math.ceil(n / cols)
+    cycles = k_tiles * n_tiles * m + rows + cols
+    return GemmTiming(m=m, k=k, n=n, cycles=cycles, macs=m * k * n)
+
+
+def batched_gemm_cycles(
+    count: int, m: int, k: int, n: int, params: HardwareParams = DEFAULT_PARAMS
+) -> int:
+    """Cycles for ``count`` independent equal-shape GEMMs (the ``T^2``
+    element-wise products of a Winograd layer).  The GEMMs pipeline
+    back to back through the double-buffered weight path, so the fill
+    cost is paid once."""
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if count == 0:
+        return 0
+    single = gemm_cycles(m, k, n, params)
+    fill = params.systolic_rows + params.systolic_cols
+    return count * (single.cycles - fill) + fill
+
+
+def gemm_time_s(
+    m: int, k: int, n: int, params: HardwareParams = DEFAULT_PARAMS
+) -> float:
+    """Wall-clock seconds of one GEMM."""
+    return gemm_cycles(m, k, n, params).cycles / params.clock_hz
+
+
+def required_stream_bandwidth(params: HardwareParams = DEFAULT_PARAMS) -> float:
+    """DRAM bandwidth needed to keep one input side streaming (Section
+    VI-B: 64 lanes x 4 B x 1 GHz = 256 GB/s, inside the stack's
+    320 GB/s)."""
+    return params.systolic_cols * 4 * params.clock_hz

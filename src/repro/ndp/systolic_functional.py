@@ -1,0 +1,153 @@
+"""Cycle-stepped functional simulation of the weight-stationary systolic
+array (paper Section VI-B).
+
+The timing model (:mod:`repro.ndp.systolic`) counts cycles analytically;
+this module actually *builds* the PE grid and streams data through it one
+cycle at a time, producing both the numerical GEMM result and the exact
+cycle count — the two are tested against numpy matmul and against the
+analytic model respectively, anchoring the performance model's compute
+term in a microarchitectural simulation.
+
+Dataflow (classic weight-stationary):
+
+* each PE ``(i, j)`` holds one weight ``W[i, j]``;
+* activation row elements enter from the west, skewed one cycle per
+  column... (in this output-stationary-accumulate-south variant:
+  activations flow east, partial sums flow south);
+* activation ``A[t, i]`` is injected into row ``i`` at cycle ``t + i``
+  (skew), partial sums exit the south edge of column ``j`` at cycle
+  ``t + rows + j``, giving the familiar ``M + rows + cols`` pipeline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..params import DEFAULT_PARAMS, HardwareParams
+
+
+@dataclass
+class SystolicRun:
+    """Result of streaming one GEMM tile through the array."""
+
+    output: np.ndarray
+    cycles: int
+
+
+class FunctionalSystolicArray:
+    """A ``rows x cols`` weight-stationary MAC grid, stepped per cycle.
+
+    Computes ``A (M x rows) @ W (rows x cols)`` for one resident weight
+    tile.  Larger GEMMs tile over this primitive exactly as the timing
+    model assumes.
+    """
+
+    def __init__(self, rows: int, cols: int) -> None:
+        if rows < 1 or cols < 1:
+            raise ValueError(f"invalid array {rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+        self.weights = np.zeros((rows, cols))
+        # Pipeline registers: activation value moving east per PE, and
+        # partial sums moving south per PE.
+        self._act = np.zeros((rows, cols))
+        self._act_valid = np.zeros((rows, cols), dtype=bool)
+        self._psum = np.zeros((rows, cols))
+
+    def load_weights(self, tile: np.ndarray) -> None:
+        if tile.shape != (self.rows, self.cols):
+            raise ValueError(f"weight tile {tile.shape} != {(self.rows, self.cols)}")
+        self.weights = tile.astype(np.float64).copy()
+
+    def run(self, activations: np.ndarray) -> SystolicRun:
+        """Stream ``M`` activation rows; returns the ``M x cols`` result
+        and the exact cycle count (``M + rows + cols - 1`` to drain)."""
+        acts = np.asarray(activations, dtype=np.float64)
+        if acts.ndim != 2 or acts.shape[1] != self.rows:
+            raise ValueError(
+                f"activations must be (M, {self.rows}), got {acts.shape}"
+            )
+        m = acts.shape[0]
+        total_cycles = m + self.rows + self.cols - 1
+        out = np.zeros((m, self.cols))
+        # out_count[j]: how many results column j has emitted so far.
+        out_count = [0] * self.cols
+
+        act = self._act
+        act_valid = self._act_valid
+        psum = self._psum
+        act[:] = 0.0
+        act_valid[:] = False
+        psum[:] = 0.0
+
+        for cycle in range(total_cycles):
+            # 1. South edge emits: column j's bottom PE finished a MAC
+            #    last cycle for the result that entered row 0 at
+            #    cycle - rows - j ... handled by shifting psum south and
+            #    capturing what falls off.
+            emitted = psum[self.rows - 1, :].copy()
+            emitted_valid = act_valid[self.rows - 1, :].copy()
+            # 2. Shift partial sums south and activations east
+            #    (combinationally the MAC happens as data passes; we
+            #    model register-to-register movement).
+            psum[1:, :] = psum[:-1, :]
+            psum[0, :] = 0.0
+            act[:, 1:] = act[:, :-1]
+            act_valid[:, 1:] = act_valid[:, :-1]
+            # 3. Inject the skewed activation column: row i receives
+            #    A[cycle - i, i] at its west edge.
+            for i in range(self.rows):
+                t = cycle - i
+                if 0 <= t < m:
+                    act[i, 0] = acts[t, i]
+                    act_valid[i, 0] = True
+                else:
+                    act[i, 0] = 0.0
+                    act_valid[i, 0] = False
+            # 4. MAC: every PE adds weight * activation into the psum now
+            #    resident at it (the sum that will continue south).
+            psum += act * self.weights
+            # 5. Capture emissions: the value leaving the south edge of
+            #    column j at this cycle belongs to activation row
+            #    cycle - rows - j (it entered row 0 j cycles after its
+            #    row-0 injection and took `rows` cycles to fall through).
+            for j in range(self.cols):
+                t = cycle - self.rows - j
+                if 0 <= t < m and emitted_valid[j]:
+                    out[t, j] = emitted[j]
+                    out_count[j] += 1
+        return SystolicRun(output=out, cycles=total_cycles)
+
+
+def tiled_gemm(
+    a: np.ndarray,
+    w: np.ndarray,
+    params: HardwareParams = DEFAULT_PARAMS,
+    array: Optional[FunctionalSystolicArray] = None,
+) -> SystolicRun:
+    """Full ``(M x K) @ (K x N)`` via array tiling, accumulating partial
+    products across K-tiles (as the output buffer does)."""
+    m, k = a.shape
+    k2, n = w.shape
+    if k != k2:
+        raise ValueError(f"inner dims differ: {k} vs {k2}")
+    array = array or FunctionalSystolicArray(params.systolic_rows, params.systolic_cols)
+    rows, cols = array.rows, array.cols
+    out = np.zeros((m, n))
+    cycles = 0
+    for k0 in range(0, k, rows):
+        k1 = min(k0 + rows, k)
+        a_tile = np.zeros((m, rows))
+        a_tile[:, : k1 - k0] = a[:, k0:k1]
+        for n0 in range(0, n, cols):
+            n1 = min(n0 + cols, n)
+            w_tile = np.zeros((rows, cols))
+            w_tile[: k1 - k0, : n1 - n0] = w[k0:k1, n0:n1]
+            array.load_weights(w_tile)
+            run = array.run(a_tile)
+            out[:, n0:n1] += run.output[:, : n1 - n0]
+            cycles += run.cycles
+    return SystolicRun(output=out, cycles=cycles)

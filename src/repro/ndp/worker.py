@@ -1,0 +1,96 @@
+"""Composition of one NDP worker (paper Fig. 13a).
+
+Bundles the per-module models — systolic array, vector unit, DRAM stack,
+buffers, energy — behind the small interface the performance model uses:
+*how long* and *how much energy* for a block of compute plus its data
+movement, with double-buffered overlap between the systolic array and the
+DMA engines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..params import DEFAULT_PARAMS, HardwareParams
+from .dram import DramModel
+from .energy import EnergyBreakdown, EnergyModel
+from .systolic import batched_gemm_cycles
+
+
+@dataclass
+class WorkBlock:
+    """One phase's worth of work on one worker.
+
+    Attributes
+    ----------
+    gemm_count, gemm_m, gemm_k, gemm_n:
+        The batched GEMM shape on the systolic array (0 count = none).
+    vector_flops:
+        Vector-unit FLOPs (ReLU, pooling, joins; transforms run in the
+        communication pipeline and are charged there).
+    dram_bytes:
+        DRAM traffic (reads + writes).
+    sram_bytes:
+        Buffer traffic (defaults to mirroring DRAM traffic through the
+        double buffers plus operand streaming).
+    """
+
+    gemm_count: int = 0
+    gemm_m: int = 1
+    gemm_k: int = 1
+    gemm_n: int = 1
+    vector_flops: float = 0.0
+    dram_bytes: float = 0.0
+    sram_bytes: float = 0.0
+
+
+@dataclass
+class BlockTiming:
+    """Timing/energy result for one :class:`WorkBlock`."""
+
+    compute_s: float
+    dram_s: float
+    vector_s: float
+    time_s: float
+    energy: EnergyBreakdown
+
+
+class NdpWorker:
+    """Timing and energy evaluation of work blocks on one module."""
+
+    def __init__(self, params: HardwareParams = DEFAULT_PARAMS) -> None:
+        self.params = params
+        self.dram = DramModel(params=params)
+        self.energy_model = EnergyModel(params)
+
+    def evaluate(self, block: WorkBlock) -> BlockTiming:
+        """Evaluate a block with systolic/DMA overlap (double buffering):
+        the block takes ``max(compute, dram)`` plus the vector tail."""
+        compute_s = 0.0
+        macs = 0
+        if block.gemm_count > 0:
+            cycles = batched_gemm_cycles(
+                block.gemm_count, block.gemm_m, block.gemm_k, block.gemm_n, self.params
+            )
+            compute_s = cycles / self.params.clock_hz
+            macs = block.gemm_count * block.gemm_m * block.gemm_k * block.gemm_n
+        vector_s = block.vector_flops / (
+            self.params.vector_lanes * self.params.clock_hz
+        )
+        dram_s = self.dram.transfer_time(block.dram_bytes)
+        time_s = max(compute_s, dram_s) + vector_s
+
+        sram_bytes = block.sram_bytes or 2.0 * block.dram_bytes
+        energy = EnergyBreakdown(
+            compute_j=self.energy_model.mac_energy(macs)
+            + self.energy_model.flop_energy(block.vector_flops),
+            sram_j=self.energy_model.sram_energy(sram_bytes),
+            dram_j=self.energy_model.dram_energy(block.dram_bytes),
+        )
+        return BlockTiming(
+            compute_s=compute_s,
+            dram_s=dram_s,
+            vector_s=vector_s,
+            time_s=time_s,
+            energy=energy,
+        )

@@ -1,0 +1,47 @@
+"""Event-driven memory-centric network simulator (Booksim substitute)."""
+
+from .collectives import (
+    CollectiveResult,
+    all_to_all,
+    all_to_all_time,
+    fbfly_injection_rate,
+    ring_allreduce,
+    ring_allreduce_time,
+)
+from .engine import Message, NetworkSimulator
+from .reconfiguration import (
+    ReconfiguredMachine,
+    paper_configurations,
+    reconfigure,
+)
+from .wormhole import WormholeSimulator, WormPacket
+from .topology import (
+    GridLayout,
+    Link,
+    Topology,
+    flattened_butterfly_2d,
+    hybrid,
+    ring,
+)
+
+__all__ = [
+    "CollectiveResult",
+    "all_to_all",
+    "all_to_all_time",
+    "fbfly_injection_rate",
+    "ring_allreduce",
+    "ring_allreduce_time",
+    "Message",
+    "NetworkSimulator",
+    "ReconfiguredMachine",
+    "paper_configurations",
+    "reconfigure",
+    "WormholeSimulator",
+    "WormPacket",
+    "GridLayout",
+    "Link",
+    "Topology",
+    "flattened_butterfly_2d",
+    "hybrid",
+    "ring",
+]

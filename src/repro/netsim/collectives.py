@@ -1,0 +1,218 @@
+"""Collective operations on the simulated network (paper Sections IV, VI-C).
+
+Implements the pipelined ring reduce+broadcast the NDP collective engine
+performs for weight gradients: the message is split into per-node slices;
+a reduce-scatter pass (``n - 1`` steps) accumulates each slice around the
+ring, and an all-gather pass (``n - 1`` steps) broadcasts the reduced
+slices.  Slices are further split into collective packets (256 B chunks)
+that flow concurrently — the "pipelined transfer" with multiple Reduce
+blocks of Section VI-C — so ring start-up cost is amortised.
+
+Also provides the cluster all-to-all used for tile gather/scatter, and an
+analytic model of both for cross-checking (tests assert the simulated
+times land near the closed forms the performance model uses).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..params import DEFAULT_PARAMS, HardwareParams
+from .engine import Message, NetworkSimulator
+
+
+@dataclass
+class CollectiveResult:
+    """Timing of one collective run."""
+
+    finish_time_s: float
+    total_bytes_on_wire: float
+    messages: int
+
+
+def ring_allreduce(
+    sim: NetworkSimulator,
+    nodes: Sequence[int],
+    message_bytes: int,
+    start_time: float = 0.0,
+) -> CollectiveResult:
+    """Pipelined ring all-reduce (reduce-scatter + all-gather) of
+    ``message_bytes`` per node over ``nodes`` in ring order.
+
+    Dependencies are explicit: a node forwards a slice at step ``k`` only
+    once it has received that slice's step ``k - 1`` message, exactly like
+    the update-counter dependency check in the NDP control unit.
+    """
+    n = len(nodes)
+    if n == 1:
+        return CollectiveResult(finish_time_s=start_time, total_bytes_on_wire=0.0, messages=0)
+    slice_bytes = max(1, message_bytes // n)
+    total_steps = 2 * (n - 1)
+    stats = {"messages": 0, "bytes": 0.0, "finish": start_time}
+
+    def send_step(position: int, slice_id: int, step: int, when: float) -> None:
+        """Node at ring `position` forwards `slice_id` for `step`."""
+        if step >= total_steps:
+            stats["finish"] = max(stats["finish"], when)
+            return
+        src = nodes[position]
+        dst = nodes[(position + 1) % n]
+
+        def delivered(_msg: Message, time: float) -> None:
+            stats["messages"] += 1
+            stats["bytes"] += slice_bytes
+            send_step((position + 1) % n, slice_id, step + 1, time)
+
+        sim.send(
+            Message(src=src, dst=dst, size_bytes=slice_bytes, tag=f"ar-s{slice_id}",
+                    on_complete=delivered),
+            start_time=when,
+        )
+
+    # Slice i starts at the node at ring position i (standard ring AR).
+    for slice_id in range(n):
+        send_step(slice_id, slice_id, 0, start_time)
+    sim.run()
+    return CollectiveResult(
+        finish_time_s=stats["finish"],
+        total_bytes_on_wire=stats["bytes"],
+        messages=stats["messages"],
+    )
+
+
+def all_to_all(
+    sim: NetworkSimulator,
+    nodes: Sequence[int],
+    bytes_per_pair: int,
+    start_time: float = 0.0,
+) -> CollectiveResult:
+    """Every node sends ``bytes_per_pair`` to every other node (tile
+    gather/scatter traffic within a cluster)."""
+    stats = {"messages": 0, "bytes": 0.0, "finish": start_time}
+
+    def delivered(msg: Message, time: float) -> None:
+        stats["messages"] += 1
+        stats["bytes"] += msg.size_bytes
+        stats["finish"] = max(stats["finish"], time)
+
+    for src in nodes:
+        for dst in nodes:
+            if src == dst:
+                continue
+            sim.send(
+                Message(src=src, dst=dst, size_bytes=bytes_per_pair,
+                        tag="a2a", on_complete=delivered),
+                start_time=start_time,
+            )
+    sim.run()
+    return CollectiveResult(
+        finish_time_s=stats["finish"],
+        total_bytes_on_wire=stats["bytes"],
+        messages=stats["messages"],
+    )
+
+
+# ---- analytic cross-checks ---------------------------------------------------
+
+
+def ring_allreduce_time(
+    message_bytes: int,
+    n: int,
+    link_bytes_per_s: float,
+    rings: int = 1,
+    params: HardwareParams = DEFAULT_PARAMS,
+    hop_latency_s: Optional[float] = None,
+) -> float:
+    """Closed-form pipelined ring all-reduce time.
+
+    ``2 (n-1)/n * bytes / (rings * bw)`` de-rated by the packet header
+    efficiency, plus the pipeline fill latency of ``2 (n-1)`` hops.
+    """
+    if n <= 1:
+        return 0.0
+    if hop_latency_s is None:
+        hop_latency_s = (
+            params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
+        )
+    efficiency = params.packet_efficiency(params.collective_packet_bytes)
+    bandwidth_term = (
+        2.0 * (n - 1) / n * message_bytes / (rings * link_bytes_per_s * efficiency)
+    )
+    latency_term = 2.0 * (n - 1) * hop_latency_s
+    return bandwidth_term + latency_term
+
+
+def fbfly_shape(cluster_size: int) -> tuple[int, int]:
+    """``rows x cols`` arrangement of a cluster FBFLY.
+
+    Small clusters (<= 4 workers) are fully connected — a 1D flattened
+    butterfly — matching the paper's ``(4, 64)`` configuration where
+    "four fully connected workers constitute a cluster" with single-hop
+    transfers; larger clusters use the squarest 2D factorisation (4 x 4
+    at 16 workers, Fig. 9).
+    """
+    if cluster_size <= 4:
+        return 1, cluster_size
+    rows = 1
+    for cand in range(int(cluster_size**0.5), 0, -1):
+        if cluster_size % cand == 0:
+            rows = cand
+            break
+    return rows, cluster_size // rows
+
+
+def fbfly_avg_hops(cluster_size: int) -> float:
+    """Mean hop count of uniform all-to-all on the cluster FBFLY under
+    dimension-order routing (1 hop same row/column, 2 otherwise)."""
+    if cluster_size <= 1:
+        return 0.0
+    rows, cols = fbfly_shape(cluster_size)
+    direct = (rows - 1) + (cols - 1)
+    total = cluster_size - 1
+    return (direct + 2 * (total - direct)) / total
+
+
+def all_to_all_time(
+    bytes_per_pair: int,
+    n: int,
+    injection_bytes_per_s: float,
+    params: HardwareParams = DEFAULT_PARAMS,
+    avg_hops: Optional[float] = None,
+    hop_latency_s: Optional[float] = None,
+) -> float:
+    """Closed-form all-to-all time for an FBFLY cluster.
+
+    Each node injects ``(n - 1) * bytes_per_pair``; under dimension-order
+    routing every link of the FBFLY carries the same load for uniform
+    all-to-all, so the finish time is the per-link load: total injected
+    bytes times the average hop count spread over the node's links,
+    de-rated by packet headers.
+    """
+    if n <= 1:
+        return 0.0
+    if avg_hops is None:
+        avg_hops = fbfly_avg_hops(n)
+    if hop_latency_s is None:
+        hop_latency_s = (
+            params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
+        )
+    efficiency = params.packet_efficiency(params.data_packet_bytes)
+    total_injected = (n - 1) * bytes_per_pair
+    bandwidth_term = total_injected * avg_hops / (injection_bytes_per_s * efficiency)
+    return bandwidth_term + avg_hops * hop_latency_s
+
+
+def fbfly_injection_rate(
+    cluster_size: int, params: HardwareParams = DEFAULT_PARAMS
+) -> float:
+    """Aggregate narrow-link injection bandwidth of one FBFLY node.
+
+    A ``rows x cols`` FBFLY node owns ``(rows - 1) + (cols - 1)`` narrow
+    links per direction.
+    """
+    if cluster_size <= 1:
+        return float("inf")
+    rows, cols = fbfly_shape(cluster_size)
+    link_count = (rows - 1) + (cols - 1)
+    return link_count * params.narrow_link_bytes_per_s

@@ -1,0 +1,150 @@
+"""Tree-based reduce/broadcast collective (the related-work baseline).
+
+Paper Section II-C cites multi-GPU systems that accelerate collectives
+with tree topologies [5] as the alternative to rings.  A binomial-tree
+all-reduce finishes in ``2·log2(n)`` message steps but moves the *whole*
+message at every step, so it trades the ring's ``2(n-1)`` pipeline depth
+for ``log`` depth at ``log``-times the bandwidth cost — better for small
+messages (latency-bound), worse for the large weight-gradient buffers
+MPT targets.  The ablation bench quantifies the crossover on the event
+simulator, supporting the paper's ring choice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+from ..params import DEFAULT_PARAMS, HardwareParams
+from .engine import Message, NetworkSimulator
+
+
+@dataclass
+class TreeResult:
+    """Timing of one tree all-reduce."""
+
+    finish_time_s: float
+    total_bytes_on_wire: float
+    steps: int
+
+
+def binomial_tree_allreduce(
+    sim: NetworkSimulator,
+    nodes: Sequence[int],
+    message_bytes: int,
+    start_time: float = 0.0,
+) -> TreeResult:
+    """Binomial-tree reduce to ``nodes[0]`` followed by binomial-tree
+    broadcast: ``2 * ceil(log2 n)`` rounds, full message each hop.
+
+    Dependencies are explicit: a node only forwards in round ``k`` after
+    it has finished receiving its round-``k`` children.
+    """
+    n = len(nodes)
+    if n == 1:
+        return TreeResult(finish_time_s=start_time, total_bytes_on_wire=0.0, steps=0)
+    rounds = (n - 1).bit_length()
+    stats = {"bytes": 0.0, "finish": start_time}
+    #: ready[i] = simulated time at which rank i's partial sum is ready.
+    ready: Dict[int, float] = {i: start_time for i in range(n)}
+    pending = {"count": 0}
+
+    done_flag = {"later": []}
+
+    def send(rank_src: int, rank_dst: int, when: float, on_done) -> None:
+        when = max(when, sim.now)
+        pending["count"] += 1
+
+        def complete(_msg: Message, time: float) -> None:
+            stats["bytes"] += message_bytes
+            stats["finish"] = max(stats["finish"], time)
+            pending["count"] -= 1
+            on_done(time)
+
+        sim.send(
+            Message(src=nodes[rank_src], dst=nodes[rank_dst],
+                    size_bytes=message_bytes, tag="tree", on_complete=complete),
+            start_time=when,
+        )
+
+    # Reduce phase: in round k, ranks with bit k set send to rank - 2^k.
+    def reduce_round(k: int) -> None:
+        if k >= rounds:
+            broadcast_round(0)
+            return
+        arrivals = {"outstanding": 0}
+        for rank in range(n):
+            if rank & (1 << k) and (rank & ((1 << k) - 1)) == 0:
+                dst = rank - (1 << k)
+                arrivals["outstanding"] += 1
+
+                def mk(dst_rank: int):
+                    def on_done(time: float) -> None:
+                        ready[dst_rank] = max(ready[dst_rank], time)
+                        arrivals["outstanding"] -= 1
+                        if arrivals["outstanding"] == 0:
+                            reduce_round(k + 1)
+
+                    return on_done
+
+                send(rank, dst, max(ready[rank], ready[dst]), mk(dst))
+        if arrivals["outstanding"] == 0:
+            reduce_round(k + 1)
+
+    # Broadcast phase: mirror image, root fans out.
+    def broadcast_round(k: int) -> None:
+        if k >= rounds:
+            return
+        step = 1 << (rounds - 1 - k)
+        arrivals = {"outstanding": 0}
+        for rank in range(0, n, 2 * step):
+            dst = rank + step
+            if dst < n:
+                arrivals["outstanding"] += 1
+
+                def mk(dst_rank: int):
+                    def on_done(time: float) -> None:
+                        ready[dst_rank] = max(ready[dst_rank], time)
+                        arrivals["outstanding"] -= 1
+                        if arrivals["outstanding"] == 0:
+                            broadcast_round(k + 1)
+
+                    return on_done
+
+                send(rank, dst, ready[rank], mk(dst))
+        if arrivals["outstanding"] == 0:
+            broadcast_round(k + 1)
+
+    reduce_round(0)
+    sim.run()
+    del done_flag
+    return TreeResult(
+        finish_time_s=stats["finish"],
+        total_bytes_on_wire=stats["bytes"],
+        steps=2 * rounds,
+    )
+
+
+def tree_allreduce_time(
+    message_bytes: int,
+    n: int,
+    link_bytes_per_s: float,
+    params: HardwareParams = DEFAULT_PARAMS,
+    hop_latency_s: Optional[float] = None,
+    avg_hops_per_step: float = 1.0,
+) -> float:
+    """Closed-form binomial-tree all-reduce time: ``2 log2(n)`` serial
+    rounds, each moving the full message."""
+    if n <= 1:
+        return 0.0
+    if hop_latency_s is None:
+        hop_latency_s = (
+            params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
+        )
+    rounds = 2 * (n - 1).bit_length()
+    efficiency = params.packet_efficiency(params.collective_packet_bytes)
+    per_round = (
+        message_bytes * avg_hops_per_step / (link_bytes_per_s * efficiency)
+        + avg_hops_per_step * hop_latency_s
+    )
+    return rounds * per_round

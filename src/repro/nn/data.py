@@ -1,0 +1,138 @@
+"""Synthetic datasets.
+
+**Substitution note (DESIGN.md):** the paper uses CIFAR and ImageNet.
+Neither is available offline, so we generate class-structured synthetic
+images: each class is a smooth random template (low-frequency Gaussian
+field) plus per-sample noise and random shifts.  A small CNN reaches high
+accuracy on them only by learning convolutional features, which is the
+property the accuracy experiments (Fig. 14) need; and their convolution
+outputs produce Winograd-domain tile values with the normal-ish
+distribution the activation-prediction experiments (Fig. 12) rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import ndimage
+
+
+@dataclass
+class Dataset:
+    """Arrays ``x`` of shape ``(N, C, H, W)`` and labels ``y`` of ``(N,)``."""
+
+    x: np.ndarray
+    y: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.y)
+
+    def batches(self, batch_size: int, rng: np.random.Generator):
+        """Yield shuffled mini-batches ``(x, y)``."""
+        order = rng.permutation(len(self.y))
+        for start in range(0, len(order) - batch_size + 1, batch_size):
+            idx = order[start : start + batch_size]
+            yield self.x[idx], self.y[idx]
+
+
+def _class_template(
+    rng: np.random.Generator, channels: int, size: int, smooth: float
+) -> np.ndarray:
+    field = rng.standard_normal((channels, size, size))
+    field = ndimage.gaussian_filter(field, sigma=(0, smooth, smooth))
+    return field / (field.std() + 1e-9)
+
+
+def synthetic_classification(
+    samples: int,
+    classes: int = 10,
+    channels: int = 3,
+    size: int = 16,
+    noise: float = 0.6,
+    max_shift: int = 2,
+    seed: int = 0,
+    template_seed: Optional[int] = None,
+) -> Dataset:
+    """Class-template images with additive noise and random shifts.
+
+    ``template_seed`` fixes the class templates independently of the
+    sample noise so that train and validation sets drawn with different
+    ``seed`` values share the same underlying classes.
+    """
+    rng = np.random.default_rng(seed)
+    template_rng = np.random.default_rng(
+        seed if template_seed is None else template_seed
+    )
+    templates = [
+        _class_template(template_rng, channels, size, smooth=size / 8)
+        for _ in range(classes)
+    ]
+    xs = np.empty((samples, channels, size, size), dtype=np.float64)
+    ys = rng.integers(0, classes, size=samples)
+    for i, label in enumerate(ys):
+        img = templates[label].copy()
+        shift = rng.integers(-max_shift, max_shift + 1, size=2)
+        img = np.roll(img, shift=tuple(shift), axis=(1, 2))
+        img += noise * rng.standard_normal(img.shape)
+        xs[i] = img
+    return Dataset(x=xs, y=ys)
+
+
+def train_val_datasets(
+    train_samples: int,
+    val_samples: int,
+    classes: int = 10,
+    channels: int = 3,
+    size: int = 16,
+    seed: int = 0,
+) -> Tuple[Dataset, Dataset]:
+    """A train/validation pair sharing the same class templates."""
+    train = synthetic_classification(
+        train_samples, classes, channels, size, seed=seed, template_seed=seed
+    )
+    val = synthetic_classification(
+        val_samples, classes, channels, size, seed=seed + 10_000, template_seed=seed
+    )
+    return train, val
+
+
+def cifar_like(samples: int, seed: int = 0) -> Dataset:
+    """A 10-class, 3x32x32 stand-in for CIFAR-10."""
+    return synthetic_classification(samples, classes=10, channels=3, size=32, seed=seed)
+
+
+def imagenet_like(samples: int, seed: int = 0, size: int = 64) -> Dataset:
+    """A many-class, larger-image stand-in for ImageNet (reduced spatial
+    size so experiments stay laptop-scale)."""
+    return synthetic_classification(
+        samples, classes=100, channels=3, size=size, seed=seed
+    )
+
+
+def natural_feature_maps(
+    batch: int,
+    channels: int,
+    size: int,
+    seed: int = 0,
+    relu_input: bool = True,
+    sparsity: float = 0.5,
+) -> np.ndarray:
+    """Feature maps with natural-image-like spatial correlation.
+
+    Used to drive activation-prediction statistics (Fig. 12): mid-network
+    CNN feature maps are spatially smooth and, after a previous ReLU,
+    non-negative and sparse.  ``sparsity`` sets the fraction of exact
+    zeros (trained CNNs run 50-80% dead activations in mid/late layers).
+    """
+    if not 0.0 <= sparsity < 1.0:
+        raise ValueError(f"sparsity must be in [0, 1), got {sparsity}")
+    rng = np.random.default_rng(seed)
+    maps = rng.standard_normal((batch, channels, size, size))
+    maps = ndimage.gaussian_filter(maps, sigma=(0, 0, 1.2, 1.2))
+    maps = maps / (maps.std() + 1e-9)
+    if relu_input:
+        threshold = float(np.quantile(maps, sparsity))
+        maps = np.maximum(maps - threshold, 0.0)
+    return maps

@@ -1,0 +1,73 @@
+"""Batch normalisation (used by the WRN/ResNet workloads of Table I).
+
+Training-mode batch statistics with running-average tracking for
+evaluation, and the full backward pass through the normalisation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .layers import Layer
+
+
+class BatchNorm2d(Layer):
+    """Per-channel batch normalisation over ``(B, C, H, W)`` maps."""
+
+    def __init__(self, channels: int, momentum: float = 0.9, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.eps = eps
+        self.momentum = momentum
+        self.params["gamma"] = np.ones(channels)
+        self.params["beta"] = np.zeros(channels)
+        self.grads["gamma"] = np.zeros(channels)
+        self.grads["beta"] = np.zeros(channels)
+        self.running_mean = np.zeros(channels)
+        self.running_var = np.ones(channels)
+        self.training = True
+        self._cache: Optional[tuple] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if x.ndim != 4:
+            raise ValueError(f"BatchNorm2d expects (B,C,H,W), got {x.shape}")
+        if self.training:
+            mean = x.mean(axis=(0, 2, 3))
+            var = x.var(axis=(0, 2, 3))
+            self.running_mean = (
+                self.momentum * self.running_mean + (1 - self.momentum) * mean
+            )
+            self.running_var = (
+                self.momentum * self.running_var + (1 - self.momentum) * var
+            )
+        else:
+            mean, var = self.running_mean, self.running_var
+        std = np.sqrt(var + self.eps)
+        x_hat = (x - mean[None, :, None, None]) / std[None, :, None, None]
+        self._cache = (x_hat, std)
+        gamma = self.params["gamma"][None, :, None, None]
+        beta = self.params["beta"][None, :, None, None]
+        return gamma * x_hat + beta
+
+    def backward(self, dy: np.ndarray) -> np.ndarray:
+        assert self._cache is not None, "backward before forward"
+        x_hat, std = self._cache
+        count = dy.shape[0] * dy.shape[2] * dy.shape[3]
+        self.grads["gamma"] += (dy * x_hat).sum(axis=(0, 2, 3))
+        self.grads["beta"] += dy.sum(axis=(0, 2, 3))
+        if not self.training:
+            gamma = self.params["gamma"][None, :, None, None]
+            return dy * gamma / std[None, :, None, None]
+        gamma = self.params["gamma"][None, :, None, None]
+        d_xhat = dy * gamma
+        mean_d = d_xhat.mean(axis=(0, 2, 3), keepdims=True)
+        mean_dx = (d_xhat * x_hat).mean(axis=(0, 2, 3), keepdims=True)
+        dx = (d_xhat - mean_d - x_hat * mean_dx) / std[None, :, None, None]
+        return dx
+
+    def eval_mode(self) -> None:
+        self.training = False
+
+    def train_mode(self) -> None:
+        self.training = True

@@ -1,0 +1,35 @@
+"""Optimisers: synchronous SGD (with momentum), as the paper assumes."""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .layers import Layer
+from .network import Sequential
+
+
+class SGD:
+    """Synchronous stochastic gradient descent with classical momentum."""
+
+    def __init__(self, network: Sequential, lr: float = 0.01, momentum: float = 0.9) -> None:
+        self.network = network
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: Dict[Tuple[int, str], np.ndarray] = {}
+
+    def step(self) -> None:
+        """Apply one update from the accumulated gradients."""
+        for layer, name in self.network.parameters():
+            key = (id(layer), name)
+            grad = layer.grads[name]
+            vel = self._velocity.get(key)
+            if vel is None:
+                vel = np.zeros_like(grad)
+            vel = self.momentum * vel - self.lr * grad
+            self._velocity[key] = vel
+            layer.params[name] += vel
+
+    def zero_grads(self) -> None:
+        self.network.zero_grads()

@@ -1,0 +1,150 @@
+"""Activation prediction without accuracy loss (paper Section V-A).
+
+Given Winograd-domain output tiles (pre-activation), predicts which tiles
+(2D predict) or tile lines (1D predict) inverse-transform to *all*
+ReLU-dead spatial neurons, so their gathering can be skipped.  The
+prediction is conservative: a neuron is declared dead only when
+``estimated value + maximum possible error < 0``, so no activated neuron
+is ever dropped (no false negatives), preserving exact training behaviour.
+
+* **2D predict** (many groups, each worker owns scattered tile elements):
+  sources send quantised element values; the destination propagates values
+  and error bounds through both 1D transforms.
+* **1D predict** (few groups, each worker owns complete tile rows):
+  sources apply the first 1D transform with *real* values, quantise the
+  result, and the destination only propagates bounds through the second
+  transform — less error accumulation, hence the better prediction rate
+  the paper reports (78.1% vs 34.0% gather reduction).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..winograd.cook_toom import WinogradTransform
+from .quantization import (
+    NonUniformQuantizer,
+    QuantizedTensor,
+    QuantizerConfig,
+    interval_matmul_right,
+)
+
+
+@dataclass
+class PredictionResult:
+    """Outcome of activation prediction over a batch of tiles.
+
+    Attributes
+    ----------
+    dead_mask:
+        Boolean array marking predicted-all-dead units (tiles for 2D
+        predict with shape ``tiles.shape[:-2]``; tile columns for 1D
+        predict with shape ``tiles.shape[:-2] + (m,)``).
+    actual_dead_mask:
+        The same mask computed from real values — the upper limit
+        (dotted line of paper Fig. 12).
+    predicted_ratio:
+        Fraction of units predicted dead.
+    actual_ratio:
+        Fraction of units actually dead.
+    false_negatives:
+        Units predicted dead that are actually live; must always be 0.
+    """
+
+    dead_mask: np.ndarray
+    actual_dead_mask: np.ndarray
+    predicted_ratio: float
+    actual_ratio: float
+    false_negatives: int
+
+
+def _neuron_dead_bound(est: QuantizedTensor) -> np.ndarray:
+    """Conservative per-neuron deadness: estimate + max error < 0."""
+    with np.errstate(invalid="ignore"):
+        upper = est.value + est.err_hi
+    return np.nan_to_num(upper, nan=np.inf) < 0.0
+
+
+def predict_2d(
+    tiles: np.ndarray,
+    transform: WinogradTransform,
+    quantizer: NonUniformQuantizer,
+) -> PredictionResult:
+    """2D activation prediction on Winograd-domain output tiles.
+
+    Parameters
+    ----------
+    tiles:
+        Pre-activation Winograd-domain tiles ``(..., T, T)``.
+    """
+    q = quantizer.quantize(tiles)
+    est = interval_matmul_right(q, transform.A, axis=-1)
+    est = interval_matmul_right(est, transform.A, axis=-2)
+    dead = _neuron_dead_bound(est).all(axis=(-2, -1))
+
+    real = transform.inverse_transform(tiles)
+    actual = (real <= 0.0).all(axis=(-2, -1))
+    return _result(dead, actual)
+
+
+def predict_1d(
+    tiles: np.ndarray,
+    transform: WinogradTransform,
+    quantizer: NonUniformQuantizer,
+) -> PredictionResult:
+    """1D activation prediction: the first 1D transform runs at the source
+    with real values; prediction granularity is the output-tile *column*
+    (a line in the paper's terminology)."""
+    # Source: real first 1D transform along rows: Z = Y A, shape (..., T, m).
+    z = np.tensordot(tiles, transform.A, axes=([-1], [0]))
+    q = quantizer.quantize(z)
+    # Destination: second transform y = A^T Z along the remaining T axis.
+    est = interval_matmul_right(q, transform.A, axis=-2)  # (..., m, m)
+    dead_cols = _neuron_dead_bound(est).all(axis=-2)  # all rows of column dead
+
+    # y[i, j] = sum_u A[u, i] Z[u, j]
+    real = np.einsum("...uj,ui->...ij", z, transform.A)
+    actual_cols = (real <= 0.0).all(axis=-2)
+    return _result(dead_cols, actual_cols)
+
+
+def _result(dead: np.ndarray, actual: np.ndarray) -> PredictionResult:
+    false_neg = int(np.sum(dead & ~actual))
+    return PredictionResult(
+        dead_mask=dead,
+        actual_dead_mask=actual,
+        predicted_ratio=float(dead.mean()),
+        actual_ratio=float(actual.mean()),
+        false_negatives=false_neg,
+    )
+
+
+def gather_traffic_reduction(
+    result: PredictionResult,
+    quantizer: NonUniformQuantizer,
+    mode: str,
+    transform: WinogradTransform | None = None,
+) -> float:
+    """Fraction of tile-gather traffic removed, relative to gathering full
+    untransformed ``T x T`` Winograd tiles.
+
+    Accounts for the prediction side-channel (every element is first sent
+    quantised at ``bits`` wide; real values of non-skipped units follow at
+    32 bits).  In the 1D-predict configuration the source has already
+    applied the first 1D transform, so only ``T x m`` values per tile move
+    at all — that volume factor (``m/T``) is what lifts the paper's 1D
+    figure to 78.1% versus 34.0% for 2D.
+    """
+    if mode not in ("1d", "2d"):
+        raise ValueError(f"mode must be '1d' or '2d', got {mode!r}")
+    bits = quantizer.config.bits
+    overhead = bits / 32.0
+    kept = 1.0 - result.predicted_ratio
+    volume = 1.0
+    if mode == "1d":
+        if transform is None:
+            raise ValueError("1d mode needs the transform for the volume factor")
+        volume = transform.m / transform.tile
+    return 1.0 - volume * (overhead + kept)

@@ -1,0 +1,217 @@
+"""Non-uniform quantisation of Winograd-domain values (paper Fig. 10).
+
+The value range is split into ``regions`` regions per sign; every region
+holds the same number of steps and the step size *doubles* from one region
+to the next (1, 2, 4, 8 ... times the base step), matching the normal
+distribution of Winograd-domain tile values the paper observes.  The base
+step is derived from the standard deviation of the real values; values
+beyond the covered range are flagged as *overflow* and treated as having
+unbounded quantisation error, which keeps the activation prediction
+conservative (no false negatives).
+
+Quantisation truncates toward zero, so the *resolution* (the region's step
+size) is exactly the paper's "maximum gap between the real value and the
+quantized value", and the error interval of a quantised value is
+one-sided: ``[0, res]`` for non-negative values and ``[-res, 0]`` for
+negative ones.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class QuantizerConfig:
+    """Configuration of the non-uniform quantiser.
+
+    Attributes
+    ----------
+    levels:
+        Total number of quantisation steps across both signs (e.g. 64 for
+        the paper's 6-bit 2D-predict setting, 32 for 5-bit 1D predict).
+    regions:
+        Number of doubling regions per sign (paper sweeps 1, 2, 4;
+        ``regions=1`` degenerates to a uniform quantiser).
+    coverage_sigmas:
+        Half-range covered before overflow, in units of the value
+        standard deviation.
+    """
+
+    levels: int = 64
+    regions: int = 4
+    coverage_sigmas: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.levels < 2 or self.levels % 2:
+            raise ValueError(f"levels must be an even number >= 2, got {self.levels}")
+        if self.regions < 1:
+            raise ValueError(f"regions must be >= 1, got {self.regions}")
+        if self.steps_per_region < 1:
+            raise ValueError(
+                f"levels={self.levels} cannot fill {self.regions} regions per sign"
+            )
+
+    @property
+    def steps_per_region(self) -> int:
+        return (self.levels // 2) // self.regions
+
+    @property
+    def bits(self) -> int:
+        """Bits per transmitted quantised value (including the sign)."""
+        return max(1, math.ceil(math.log2(self.levels)))
+
+
+@dataclass
+class QuantizedTensor:
+    """Quantised values with their conservative error intervals.
+
+    ``true value = value + e`` with ``e`` in ``[err_lo, err_hi]``
+    element-wise; overflowed elements carry infinite bounds.
+    """
+
+    value: np.ndarray
+    err_lo: np.ndarray
+    err_hi: np.ndarray
+    overflow: np.ndarray
+
+
+class NonUniformQuantizer:
+    """The region-doubling quantiser of paper Fig. 10(a).
+
+    Parameters
+    ----------
+    config:
+        Level/region configuration.
+    sigma:
+        Standard deviation of the values to quantise (pre-computed per
+        layer in the paper; pass the measured value).
+    """
+
+    def __init__(self, config: QuantizerConfig, sigma: float) -> None:
+        if sigma <= 0:
+            raise ValueError(f"sigma must be positive, got {sigma}")
+        self.config = config
+        self.sigma = float(sigma)
+        spr = config.steps_per_region
+        # Region k spans spr steps of width base*2^k; total half-range
+        # = base * spr * (2^regions - 1) = coverage_sigmas * sigma.
+        span_units = spr * (2**config.regions - 1)
+        self.base_step = config.coverage_sigmas * self.sigma / span_units
+        # Precompute region boundaries (positive side).
+        bounds = [0.0]
+        for k in range(config.regions):
+            bounds.append(bounds[-1] + spr * self.base_step * 2**k)
+        self.region_bounds = np.array(bounds)  # length regions+1
+        self.max_value = float(bounds[-1])
+
+    def step_size(self, magnitude: np.ndarray) -> np.ndarray:
+        """Resolution (step width) at each |value|."""
+        region = np.searchsorted(self.region_bounds[1:], magnitude, side="right")
+        region = np.minimum(region, self.config.regions - 1)
+        return self.base_step * (2.0**region)
+
+    def quantize(self, values: np.ndarray) -> QuantizedTensor:
+        """Quantise, truncating magnitudes toward zero.
+
+        Overflowed elements keep their sign-saturated value but get
+        infinite error bounds so downstream predictions stay safe.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        magnitude = np.abs(values)
+        overflow = magnitude >= self.max_value
+        clipped = np.minimum(magnitude, np.nextafter(self.max_value, 0.0))
+        step = self.step_size(clipped)
+        region = np.searchsorted(self.region_bounds[1:], clipped, side="right")
+        region = np.minimum(region, self.config.regions - 1)
+        region_lo = self.region_bounds[region]
+        q_mag = region_lo + np.floor((clipped - region_lo) / step) * step
+        q = np.sign(values) * q_mag
+        res = step
+        err_lo = np.where(values >= 0, 0.0, -res)
+        err_hi = np.where(values >= 0, res, 0.0)
+        err_lo = np.where(overflow & (values < 0), -np.inf, err_lo)
+        err_hi = np.where(overflow & (values >= 0), np.inf, err_hi)
+        return QuantizedTensor(value=q, err_lo=err_lo, err_hi=err_hi, overflow=overflow)
+
+    def encode(self, values: np.ndarray) -> np.ndarray:
+        """Integer codes as the hardware of Fig. 10(b) would transmit.
+
+        Code layout: ``sign * (global step index + 1)``; 0 is reserved for
+        exact zero and ``+/- (levels//2 + 1)`` marks overflow.
+        """
+        values = np.asarray(values, dtype=np.float64)
+        magnitude = np.abs(values)
+        spr = self.config.steps_per_region
+        overflow_code = self.config.levels // 2 + 1
+        region = np.searchsorted(self.region_bounds[1:], magnitude, side="right")
+        region_c = np.minimum(region, self.config.regions - 1)
+        step = self.base_step * (2.0**region_c)
+        region_lo = self.region_bounds[region_c]
+        idx_in_region = np.floor((magnitude - region_lo) / step).astype(np.int64)
+        idx_in_region = np.minimum(idx_in_region, spr - 1)
+        code = region_c * spr + idx_in_region + 1
+        code = np.where(magnitude >= self.max_value, overflow_code, code)
+        code = np.where(magnitude == 0.0, 0, code)
+        return (np.sign(values).astype(np.int64)) * code
+
+    def decode(self, codes: np.ndarray) -> QuantizedTensor:
+        """Reconstruct quantised values and error intervals from codes."""
+        codes = np.asarray(codes, dtype=np.int64)
+        sign = np.sign(codes)
+        mag_code = np.abs(codes)
+        spr = self.config.steps_per_region
+        overflow_code = self.config.levels // 2 + 1
+        overflow = mag_code == overflow_code
+        step_idx = np.clip(mag_code - 1, 0, self.config.levels // 2 - 1)
+        region = step_idx // spr
+        idx_in_region = step_idx % spr
+        step = self.base_step * (2.0**region)
+        q_mag = self.region_bounds[region] + idx_in_region * step
+        q_mag = np.where(mag_code == 0, 0.0, q_mag)
+        q_mag = np.where(overflow, self.max_value, q_mag)
+        value = sign * q_mag
+        res = np.where(mag_code == 0, self.base_step, step)
+        positive = sign >= 0
+        err_lo = np.where(positive, 0.0, -res)
+        err_hi = np.where(positive, res, 0.0)
+        err_lo = np.where(overflow & ~positive, -np.inf, err_lo)
+        err_hi = np.where(overflow & positive, np.inf, err_hi)
+        return QuantizedTensor(
+            value=value.astype(np.float64),
+            err_lo=err_lo,
+            err_hi=err_hi,
+            overflow=overflow,
+        )
+
+
+def interval_matmul_right(
+    q: QuantizedTensor, matrix: np.ndarray, axis: int = -1
+) -> QuantizedTensor:
+    """Propagate a quantised tensor through ``x @ matrix`` with interval
+    arithmetic along ``axis`` (the paper's +/- max-error accumulation).
+
+    The estimated values transform normally; each output's error bounds
+    accumulate positive coefficients times one bound and negative
+    coefficients times the other, which is exactly the conservative
+    scheme of Section V-A.
+    """
+    pos = np.maximum(matrix, 0.0)
+    neg = np.minimum(matrix, 0.0)
+
+    def contract(arr: np.ndarray, mat: np.ndarray) -> np.ndarray:
+        moved = np.moveaxis(arr, axis, -1)
+        out = np.tensordot(moved, mat, axes=([-1], [0]))
+        return np.moveaxis(out, -1, axis)
+
+    value = contract(q.value, matrix)
+    with np.errstate(invalid="ignore"):
+        err_hi = contract(q.err_hi, pos) + contract(q.err_lo, neg)
+        err_lo = contract(q.err_lo, pos) + contract(q.err_hi, neg)
+    err_hi = np.nan_to_num(err_hi, nan=np.inf, posinf=np.inf, neginf=-np.inf)
+    err_lo = np.nan_to_num(err_lo, nan=-np.inf, posinf=np.inf, neginf=-np.inf)
+    overflow = ~np.isfinite(err_hi) | ~np.isfinite(err_lo)
+    return QuantizedTensor(value=value, err_lo=err_lo, err_hi=err_hi, overflow=overflow)

@@ -1,0 +1,167 @@
+"""1D Winograd convolution for separable (``r x 1`` / ``1 x r``) kernels.
+
+Paper Section VII-B: "for the 3x1 weights, F(2, 3) can be used with a
+tile size of 4x1".  Rectangular kernels appear in factorised CNNs
+(Inception-style ``3x1 + 1x3`` pairs); MPT applies unchanged with ``T``
+tile elements per tile instead of ``T^2``.
+
+Layouts match the 2D module: feature maps ``(B, C, H, W)``, weights
+``(J, I, r)`` applied along the chosen axis.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .cook_toom import WinogradTransform
+
+
+@dataclass(frozen=True)
+class TileGrid1D:
+    """Tile geometry along one spatial axis."""
+
+    length: int
+    pad: int
+    m: int
+    r: int
+
+    def __post_init__(self) -> None:
+        if self.out_length < 1:
+            raise ValueError(f"empty output for {self}")
+
+    @property
+    def tile(self) -> int:
+        return self.m + self.r - 1
+
+    @property
+    def out_length(self) -> int:
+        return self.length + 2 * self.pad - self.r + 1
+
+    @property
+    def num_tiles(self) -> int:
+        return math.ceil(self.out_length / self.m)
+
+    @property
+    def padded_length(self) -> int:
+        return (self.num_tiles - 1) * self.m + self.tile
+
+
+def _to_last_axis(x: np.ndarray, axis: int) -> np.ndarray:
+    return np.moveaxis(x, axis, -1)
+
+
+def extract_tiles_1d(x: np.ndarray, grid: TileGrid1D, axis: int = -1) -> np.ndarray:
+    """Overlapping length-``T`` tiles with stride ``m`` along ``axis``;
+    the tile index is appended as the second-to-last axis."""
+    moved = _to_last_axis(x, axis)
+    if moved.shape[-1] != grid.length:
+        raise ValueError(f"axis length {moved.shape[-1]} != grid {grid.length}")
+    canvas_shape = moved.shape[:-1] + (grid.padded_length,)
+    canvas = np.zeros(canvas_shape, dtype=x.dtype)
+    canvas[..., grid.pad : grid.pad + grid.length] = moved
+    view = np.lib.stride_tricks.sliding_window_view(canvas, grid.tile, axis=-1)
+    return np.ascontiguousarray(view[..., :: grid.m, :])
+
+
+def extract_tiles_1d_adjoint(
+    d_tiles: np.ndarray, grid: TileGrid1D, axis: int = -1
+) -> np.ndarray:
+    """Overlap-add adjoint of :func:`extract_tiles_1d`."""
+    canvas_shape = d_tiles.shape[:-2] + (grid.padded_length,)
+    canvas = np.zeros(canvas_shape, dtype=d_tiles.dtype)
+    for t in range(grid.num_tiles):
+        canvas[..., t * grid.m : t * grid.m + grid.tile] += d_tiles[..., t, :]
+    out = canvas[..., grid.pad : grid.pad + grid.length]
+    return np.moveaxis(out, -1, axis)
+
+
+def assemble_1d(out_tiles: np.ndarray, grid: TileGrid1D, axis: int = -1) -> np.ndarray:
+    """Concatenate per-tile ``m`` outputs and crop to the output length."""
+    joined = out_tiles.reshape(out_tiles.shape[:-2] + (grid.num_tiles * grid.m,))
+    return np.moveaxis(joined[..., : grid.out_length], -1, axis)
+
+
+def assemble_1d_adjoint(dy: np.ndarray, grid: TileGrid1D, axis: int = -1) -> np.ndarray:
+    moved = _to_last_axis(dy, axis)
+    full = np.zeros(moved.shape[:-1] + (grid.num_tiles * grid.m,), dtype=dy.dtype)
+    full[..., : grid.out_length] = moved
+    return full.reshape(moved.shape[:-1] + (grid.num_tiles, grid.m))
+
+
+@dataclass
+class Conv1dCache:
+    input_tiles: np.ndarray  # (B, I, ..., tiles, T) Winograd domain
+    grid: TileGrid1D
+    axis: int
+
+
+def winograd_forward_1d(
+    x: np.ndarray,
+    weights_wd: np.ndarray,
+    transform: WinogradTransform,
+    pad: int,
+    axis: int,
+) -> tuple[np.ndarray, Conv1dCache]:
+    """Forward 1D Winograd convolution along ``axis``.
+
+    ``weights_wd`` is the Winograd-domain weight ``(J, I, T)``.
+    """
+    if weights_wd.shape[-1] != transform.tile:
+        raise ValueError(f"weights last dim {weights_wd.shape[-1]} != T")
+    grid = TileGrid1D(length=x.shape[axis], pad=pad, m=transform.m, r=transform.r)
+    spatial_tiles = extract_tiles_1d(x, grid, axis)  # (B, I, ..., tiles, T)
+    input_tiles = transform.transform_input_1d(spatial_tiles)
+    # Element-wise products: for each tile element e, (tiles..., I)x(I, J).
+    out = np.einsum("bi...te,jie->bj...te", input_tiles, weights_wd)
+    out_tiles = transform.inverse_transform_1d(out)
+    y = assemble_1d(out_tiles, grid, axis)
+    return y, Conv1dCache(input_tiles=input_tiles, grid=grid, axis=axis)
+
+
+def winograd_backward_1d(
+    dy: np.ndarray,
+    weights_wd: np.ndarray,
+    transform: WinogradTransform,
+    cache: Conv1dCache,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Backward pass: returns ``(dx, dW)`` with ``dW`` of shape
+    ``(J, I, T)`` — the Winograd-domain gradient MPT would all-reduce."""
+    grid, axis = cache.grid, cache.axis
+    dy_tiles = assemble_1d_adjoint(dy, grid, axis)
+    # Transpose of inverse_transform_1d: dY = dy A^T along last axis.
+    d_out = np.tensordot(dy_tiles, transform.A, axes=([-1], [1]))
+    # Sum the weight gradient over batch and all positional axes: merge
+    # them so einsum can contract explicitly.
+    t = transform.tile
+    b, j = d_out.shape[0], d_out.shape[1]
+    i = cache.input_tiles.shape[1]
+    d_flat = d_out.reshape(b, j, -1, t)
+    x_flat = cache.input_tiles.reshape(b, i, -1, t)
+    dw = np.einsum("bjke,bike->jie", d_flat, x_flat)
+    dx_wd = np.einsum("bj...te,jie->bi...te", d_out, weights_wd)
+    # Transpose of transform_input_1d: dx_tiles = dX B^T.
+    dx_tiles = np.tensordot(dx_wd, transform.B, axes=([-1], [1]))
+    dx = extract_tiles_1d_adjoint(dx_tiles, grid, axis)
+    return dx, dw
+
+
+def spatial_to_winograd_1d(w: np.ndarray, transform: WinogradTransform) -> np.ndarray:
+    """Lift ``(J, I, r)`` spatial weights to ``(J, I, T)``."""
+    return transform.transform_weight_1d(w)
+
+
+def direct_conv1d(x: np.ndarray, w: np.ndarray, pad: int, axis: int) -> np.ndarray:
+    """Direct separable convolution reference along ``axis``."""
+    moved = _to_last_axis(x, axis)
+    r = w.shape[-1]
+    padded = np.pad(
+        moved,
+        [(0, 0)] * (moved.ndim - 1) + [(pad, pad)],
+    )
+    view = np.lib.stride_tricks.sliding_window_view(padded, r, axis=-1)
+    # view: (B, I, ..., L_out, r); contract channels and taps.
+    out = np.einsum("bi...lr,jir->bj...l", view, w)
+    return np.moveaxis(out, -1, axis)

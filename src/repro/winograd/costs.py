@@ -1,0 +1,185 @@
+"""Computation and memory-access accounting (paper Figure 1).
+
+Counts multiply-accumulates and DRAM traffic of direct versus
+Winograd-transformed convolution for the three training phases.  The paper
+measured these on a Xeon with vTune; we count them analytically with a
+documented traffic model: every operand array is read once and every
+result written once per phase (on-chip buffers capture intra-phase reuse,
+as footnote 3 of the paper assumes they only *reduce*, not eliminate, the
+Winograd overhead — the Winograd-domain arrays are simply bigger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..workloads.layers import ConvLayerSpec
+from .cook_toom import WinogradTransform
+
+BYTES_PER_ELEMENT = 4  # FP32
+
+#: Training phases, in paper notation.
+PHASES = ("fprop", "bprop", "update")
+
+
+@dataclass
+class PhaseCost:
+    """MACs and DRAM traffic of one training phase on one layer."""
+
+    macs: int = 0
+    transform_flops: int = 0
+    dram_bytes: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(self.dram_bytes.values())
+
+
+@dataclass
+class LayerCost:
+    """Per-phase costs plus totals for one layer."""
+
+    phases: Dict[str, PhaseCost] = field(default_factory=dict)
+
+    @property
+    def total_macs(self) -> int:
+        return sum(p.macs for p in self.phases.values())
+
+    @property
+    def total_transform_flops(self) -> int:
+        return sum(p.transform_flops for p in self.phases.values())
+
+    @property
+    def total_dram_bytes(self) -> int:
+        return sum(p.total_dram_bytes for p in self.phases.values())
+
+
+def direct_costs(layer: ConvLayerSpec, batch: int) -> LayerCost:
+    """Direct-convolution cost of one training iteration of one layer."""
+    macs = layer.direct_macs(batch)
+    x_bytes = layer.input_count(batch) * BYTES_PER_ELEMENT
+    y_bytes = layer.output_count(batch) * BYTES_PER_ELEMENT
+    w_bytes = layer.weight_count * BYTES_PER_ELEMENT
+    cost = LayerCost()
+    cost.phases["fprop"] = PhaseCost(
+        macs=macs,
+        dram_bytes={"x_read": x_bytes, "w_read": w_bytes, "y_write": y_bytes},
+    )
+    cost.phases["bprop"] = PhaseCost(
+        macs=macs,
+        dram_bytes={"dy_read": y_bytes, "w_read": w_bytes, "dx_write": x_bytes},
+    )
+    cost.phases["update"] = PhaseCost(
+        macs=macs,
+        dram_bytes={"x_read": x_bytes, "dy_read": y_bytes, "dw_write": w_bytes},
+    )
+    return cost
+
+
+def _transform_flops_input(transform: WinogradTransform, tiles: int) -> int:
+    """FLOPs of ``B^T x B`` per tile: two ``T x T`` by ``T x T`` products."""
+    t = transform.tile
+    return tiles * 2 * (2 * t**3)
+
+
+def _transform_flops_inverse(transform: WinogradTransform, tiles: int) -> int:
+    """FLOPs of ``A^T Y A`` per tile."""
+    t, m = transform.tile, transform.m
+    return tiles * 2 * (m * t * t + m * m * t)
+
+
+def winograd_costs(
+    layer: ConvLayerSpec,
+    batch: int,
+    transform: WinogradTransform,
+    winograd_domain_weights: bool = True,
+) -> LayerCost:
+    """Winograd-convolution cost of one training iteration of one layer.
+
+    Parameters
+    ----------
+    winograd_domain_weights:
+        If True (the paper's Winograd layer, Fig. 2b), weights live in the
+        Winograd domain permanently; otherwise ``G w G^T`` / its transpose
+        are added to every phase.
+    """
+    t = transform.tile
+    tiles = batch * layer.tiles_per_image(transform.m)  # per channel
+    in_tiles = tiles * layer.in_channels
+    out_tiles = tiles * layer.out_channels
+
+    macs = t * t * tiles * layer.in_channels * layer.out_channels
+    tile_bytes = t * t * BYTES_PER_ELEMENT
+    x_bytes = layer.input_count(batch) * BYTES_PER_ELEMENT
+    y_bytes = layer.output_count(batch) * BYTES_PER_ELEMENT
+    big_w_bytes = layer.winograd_weight_count(t) * BYTES_PER_ELEMENT
+    in_tile_bytes = in_tiles * tile_bytes
+    out_tile_bytes = out_tiles * tile_bytes
+
+    cost = LayerCost()
+    # fprop: read x, write+read Winograd tiles X, read W, write+read
+    # Winograd outputs Y-hat, write spatial y.
+    cost.phases["fprop"] = PhaseCost(
+        macs=macs,
+        transform_flops=_transform_flops_input(transform, in_tiles)
+        + _transform_flops_inverse(transform, out_tiles),
+        dram_bytes={
+            "x_read": x_bytes,
+            "X_write": in_tile_bytes,
+            "X_read": in_tile_bytes,
+            "W_read": big_w_bytes,
+            "Yh_write": out_tile_bytes,
+            "Yh_read": out_tile_bytes,
+            "y_write": y_bytes,
+        },
+    )
+    # bprop: mirror of fprop with dy in, dx out.
+    cost.phases["bprop"] = PhaseCost(
+        macs=macs,
+        transform_flops=_transform_flops_input(transform, out_tiles)
+        + _transform_flops_inverse(transform, in_tiles),
+        dram_bytes={
+            "dy_read": y_bytes,
+            "dYh_write": out_tile_bytes,
+            "dYh_read": out_tile_bytes,
+            "W_read": big_w_bytes,
+            "dX_write": in_tile_bytes,
+            "dX_read": in_tile_bytes,
+            "dx_write": x_bytes,
+        },
+    )
+    # update: dW(u,v) = X(u,v)^T dYh(u,v); X and dYh re-read, dW written.
+    cost.phases["update"] = PhaseCost(
+        macs=macs,
+        dram_bytes={
+            "X_read": in_tile_bytes,
+            "dYh_read": out_tile_bytes,
+            "dW_write": big_w_bytes,
+        },
+    )
+    if not winograd_domain_weights:
+        small_w_bytes = layer.weight_count * BYTES_PER_ELEMENT
+        r = layer.kernel
+        per_weight = 2 * (t * r * r + t * t * r)
+        lift_flops = layer.in_channels * layer.out_channels * per_weight
+        for phase in ("fprop", "bprop"):
+            cost.phases[phase].dram_bytes["w_read"] = small_w_bytes
+            cost.phases[phase].transform_flops += lift_flops
+        cost.phases["update"].dram_bytes["dw_write"] = small_w_bytes
+        cost.phases["update"].transform_flops += lift_flops
+    return cost
+
+
+def compute_reduction(layer: ConvLayerSpec, batch: int, transform: WinogradTransform) -> float:
+    """Direct/Winograd MAC ratio (paper Fig. 1, 'Computation')."""
+    direct = direct_costs(layer, batch).total_macs
+    wino = winograd_costs(layer, batch, transform).total_macs
+    return direct / wino
+
+
+def access_increase(layer: ConvLayerSpec, batch: int, transform: WinogradTransform) -> float:
+    """Winograd/direct DRAM-traffic ratio (paper Fig. 1, 'Memory access')."""
+    direct = direct_costs(layer, batch).total_dram_bytes
+    wino = winograd_costs(layer, batch, transform).total_dram_bytes
+    return wino / direct

@@ -1,0 +1,118 @@
+"""Direct (spatial-domain) convolution reference implementation.
+
+Implements the three training phases of a convolution layer exactly as in
+paper Section II-A: forward propagation, backward propagation to the
+inputs, and the weight-gradient computation.  Stride is fixed at 1 (all
+layers evaluated in the paper are stride-1 3x3/5x5 convolutions); padding
+is arbitrary.
+
+Layouts: feature maps ``(B, C, H, W)``; weights ``(J, I, r, r)`` where
+``I``/``J`` are input/output channel counts (``w_{i,j}`` in the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
+    """Return patches of shape ``(B, I, kh, kw, H_out, W_out)``."""
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    view = np.lib.stride_tricks.sliding_window_view(x, (kh, kw), axis=(2, 3))
+    # view: (B, I, H_out, W_out, kh, kw) -> reorder for einsum clarity
+    return view.transpose(0, 1, 4, 5, 2, 3)
+
+
+def conv2d_forward(x: np.ndarray, w: np.ndarray, pad: int = 0) -> np.ndarray:
+    """Correlation-style 2D convolution, ``y_{b,j} = sum_i x_{b,i} * w_{i,j}``.
+
+    Parameters
+    ----------
+    x:
+        Inputs of shape ``(B, I, H, W)``.
+    w:
+        Weights of shape ``(J, I, r, r)``.
+    pad:
+        Symmetric zero padding.
+
+    Returns
+    -------
+    np.ndarray
+        Outputs of shape ``(B, J, H + 2*pad - r + 1, W + 2*pad - r + 1)``.
+    """
+    _, in_ch, _, _ = x.shape
+    out_ch, w_in_ch, kh, kw = w.shape
+    if in_ch != w_in_ch:
+        raise ValueError(f"channel mismatch: x has {in_ch}, w expects {w_in_ch}")
+    cols = _im2col(x, kh, kw, pad)
+    return np.einsum("nipqhw,jipq->njhw", cols, w, optimize=True)
+
+
+def conv2d_backward_input(dy: np.ndarray, w: np.ndarray, pad: int, in_hw: tuple[int, int]) -> np.ndarray:
+    """Gradient of the loss w.r.t. the layer input (paper Section II-A).
+
+    Equivalent to a "full" correlation of ``dy`` with the spatially flipped
+    weights, transposed over the channel axes.
+
+    Parameters
+    ----------
+    dy:
+        Output gradient of shape ``(B, J, H_out, W_out)``.
+    w:
+        Weights of shape ``(J, I, r, r)``.
+    pad:
+        The padding used in the forward pass.
+    in_hw:
+        The spatial shape ``(H, W)`` of the forward input.
+    """
+    out_ch, in_ch, kh, kw = w.shape
+    height, width = in_hw
+    # dx[b,i,p,q] = sum_{j,a,b'} dy[b,j,p+pad-a,q+pad-b'] w[j,i,a,b']
+    w_flipped = w[:, :, ::-1, ::-1]
+    full_pad_h, full_pad_w = kh - 1, kw - 1
+    dy_padded = np.pad(
+        dy, ((0, 0), (0, 0), (full_pad_h, full_pad_h), (full_pad_w, full_pad_w))
+    )
+    cols = np.lib.stride_tricks.sliding_window_view(
+        dy_padded, (kh, kw), axis=(2, 3)
+    ).transpose(0, 1, 4, 5, 2, 3)
+    dx_full = np.einsum("njpqhw,jipq->nihw", cols, w_flipped, optimize=True)
+    # dx_full covers the padded input; crop the padding ring.
+    return dx_full[:, :, pad : pad + height, pad : pad + width]
+
+
+def conv2d_backward_weight(x: np.ndarray, dy: np.ndarray, pad: int) -> np.ndarray:
+    """Weight gradient ``dL/dw_{i,j} = sum_b dy_{b,j} * x_{b,i}``.
+
+    Parameters
+    ----------
+    x:
+        Forward inputs of shape ``(B, I, H, W)``.
+    dy:
+        Output gradients of shape ``(B, J, H_out, W_out)``.
+    pad:
+        The padding used in the forward pass.
+
+    Returns
+    -------
+    np.ndarray
+        Weight gradient of shape ``(J, I, r, r)``.
+    """
+    _, _, out_h, out_w = dy.shape
+    height = x.shape[2] + 2 * pad
+    kh = height - out_h + 1
+    width = x.shape[3] + 2 * pad
+    kw = width - out_w + 1
+    cols = _im2col(x, kh, kw, pad)  # (B, I, r, r, H_out, W_out)
+    return np.einsum("nipqhw,njhw->jipq", cols, dy, optimize=True)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    """Rectified linear unit."""
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(y_pre: np.ndarray, dy: np.ndarray) -> np.ndarray:
+    """Backward pass of ReLU given the pre-activation values."""
+    return dy * (y_pre > 0)

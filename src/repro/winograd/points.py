@@ -1,0 +1,59 @@
+"""Interpolation-point selection for Cook-Toom / Winograd transforms.
+
+The Winograd transform ``F(m, r)`` requires ``m + r - 2`` distinct finite
+interpolation points (the final point is taken at infinity).  Point choice
+does not affect correctness, but it strongly affects the magnitude of the
+transform coefficients and therefore the numerical stability of the
+transform.  We use the conventional "small rational" sequence popularised
+by the wincnn toolkit: ``0, 1, -1, 2, -2, 1/2, -1/2, 3, -3, ...``.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+from typing import List
+
+#: The canonical well-conditioned point sequence.  Extended on demand by
+#: :func:`default_points`.
+_BASE_SEQUENCE: List[Fraction] = [
+    Fraction(0),
+    Fraction(1),
+    Fraction(-1),
+    Fraction(2),
+    Fraction(-2),
+    Fraction(1, 2),
+    Fraction(-1, 2),
+    Fraction(3),
+    Fraction(-3),
+    Fraction(1, 3),
+    Fraction(-1, 3),
+    Fraction(4),
+    Fraction(-4),
+    Fraction(1, 4),
+    Fraction(-1, 4),
+]
+
+
+def default_points(count: int) -> List[Fraction]:
+    """Return ``count`` distinct finite interpolation points.
+
+    Parameters
+    ----------
+    count:
+        Number of finite points required; for ``F(m, r)`` this is
+        ``m + r - 2``.
+
+    Raises
+    ------
+    ValueError
+        If ``count`` is negative or exceeds the supported sequence length.
+    """
+    if count < 0:
+        raise ValueError(f"point count must be non-negative, got {count}")
+    if count > len(_BASE_SEQUENCE):
+        raise ValueError(
+            f"requested {count} interpolation points but only "
+            f"{len(_BASE_SEQUENCE)} well-conditioned points are defined; "
+            "larger transforms are numerically unstable (see paper Section II-B)"
+        )
+    return list(_BASE_SEQUENCE[:count])

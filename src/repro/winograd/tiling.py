@@ -1,0 +1,171 @@
+"""Tile extraction and assembly for tiled Winograd convolution.
+
+An input feature map is decomposed into overlapping ``T x T`` tiles with
+stride ``m`` (``T = m + r - 1``); each tile produces an ``m x m`` patch of
+the output.  This module implements the forward extraction, the output
+assembly, and their adjoints (needed for back-propagation through the
+tiling itself).
+
+Feature maps use the layout ``(batch, channel, height, width)``; tile
+arrays use ``(batch, channel, tile_row, tile_col, T, T)``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class TileGrid:
+    """Geometry of the tile decomposition of one convolution layer.
+
+    Attributes
+    ----------
+    height, width:
+        Spatial input size (unpadded).
+    pad:
+        Symmetric zero padding applied to the input.
+    m:
+        Outputs per tile per dimension.
+    r:
+        Filter size per dimension.
+    """
+
+    height: int
+    width: int
+    pad: int
+    m: int
+    r: int
+
+    def __post_init__(self) -> None:
+        if self.out_height < 1 or self.out_width < 1:
+            raise ValueError(
+                f"layer geometry {self.height}x{self.width} pad={self.pad} "
+                f"r={self.r} produces an empty output"
+            )
+
+    @property
+    def tile(self) -> int:
+        """Input tile size ``T = m + r - 1``."""
+        return self.m + self.r - 1
+
+    @property
+    def out_height(self) -> int:
+        return self.height + 2 * self.pad - self.r + 1
+
+    @property
+    def out_width(self) -> int:
+        return self.width + 2 * self.pad - self.r + 1
+
+    @property
+    def tiles_high(self) -> int:
+        return math.ceil(self.out_height / self.m)
+
+    @property
+    def tiles_wide(self) -> int:
+        return math.ceil(self.out_width / self.m)
+
+    @property
+    def tiles_per_image(self) -> int:
+        """Tiles per channel per image (``t`` in the paper)."""
+        return self.tiles_high * self.tiles_wide
+
+    @property
+    def padded_height(self) -> int:
+        """Height of the zero-extended canvas covering every tile."""
+        return (self.tiles_high - 1) * self.m + self.tile
+
+    @property
+    def padded_width(self) -> int:
+        return (self.tiles_wide - 1) * self.m + self.tile
+
+
+def _padded_canvas(x: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Zero-extend ``x`` so that every tile lies fully inside the canvas."""
+    batch, channels = x.shape[0], x.shape[1]
+    canvas = np.zeros(
+        (batch, channels, grid.padded_height, grid.padded_width), dtype=x.dtype
+    )
+    canvas[:, :, grid.pad : grid.pad + grid.height, grid.pad : grid.pad + grid.width] = x
+    return canvas
+
+
+def extract_tiles(x: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Cut a feature map into overlapping ``T x T`` tiles with stride ``m``.
+
+    Parameters
+    ----------
+    x:
+        Feature map of shape ``(B, C, H, W)`` matching ``grid``.
+
+    Returns
+    -------
+    np.ndarray
+        Tiles of shape ``(B, C, tiles_high, tiles_wide, T, T)``.
+    """
+    if x.shape[2] != grid.height or x.shape[3] != grid.width:
+        raise ValueError(f"input shape {x.shape} does not match grid {grid}")
+    canvas = _padded_canvas(x, grid)
+    t, m = grid.tile, grid.m
+    view = np.lib.stride_tricks.sliding_window_view(canvas, (t, t), axis=(2, 3))
+    return np.ascontiguousarray(view[:, :, ::m, ::m, :, :])
+
+
+def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Adjoint of :func:`extract_tiles`: overlap-add tile gradients.
+
+    Sums each tile gradient back into the (padded) canvas and crops the
+    padding, yielding the gradient with respect to the original map.
+    """
+    batch, channels = d_tiles.shape[0], d_tiles.shape[1]
+    t, m = grid.tile, grid.m
+    canvas = np.zeros(
+        (batch, channels, grid.padded_height, grid.padded_width),
+        dtype=d_tiles.dtype,
+    )
+    for th in range(grid.tiles_high):
+        for tw in range(grid.tiles_wide):
+            canvas[:, :, th * m : th * m + t, tw * m : tw * m + t] += d_tiles[
+                :, :, th, tw
+            ]
+    return canvas[
+        :, :, grid.pad : grid.pad + grid.height, grid.pad : grid.pad + grid.width
+    ]
+
+
+def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Stitch per-tile ``m x m`` outputs into the full output map.
+
+    Tiles never overlap on the output side; trailing tiles that extend past
+    the output boundary are cropped.
+    """
+    batch, channels = out_tiles.shape[0], out_tiles.shape[1]
+    m = grid.m
+    full = np.zeros(
+        (batch, channels, grid.tiles_high * m, grid.tiles_wide * m),
+        dtype=out_tiles.dtype,
+    )
+    for th in range(grid.tiles_high):
+        for tw in range(grid.tiles_wide):
+            full[:, :, th * m : (th + 1) * m, tw * m : (tw + 1) * m] = out_tiles[
+                :, :, th, tw
+            ]
+    return full[:, :, : grid.out_height, : grid.out_width]
+
+
+def assemble_output_adjoint(dy: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Adjoint of :func:`assemble_output`: cut an output gradient into
+    non-overlapping ``m x m`` tiles (zero-padding past the boundary)."""
+    batch, channels = dy.shape[0], dy.shape[1]
+    m = grid.m
+    full = np.zeros(
+        (batch, channels, grid.tiles_high * m, grid.tiles_wide * m), dtype=dy.dtype
+    )
+    full[:, :, : grid.out_height, : grid.out_width] = dy
+    tiles = full.reshape(
+        batch, channels, grid.tiles_high, m, grid.tiles_wide, m
+    ).transpose(0, 1, 2, 4, 3, 5)
+    return np.ascontiguousarray(tiles)

@@ -1,0 +1,29 @@
+"""Workload definitions: the paper's Table I networks and Table II layers."""
+
+from .fractal import FractalBlockSpec, FractalJoinSpec, conv_count, fractal_block
+from .layers import ConvLayerSpec, early_layer, five_layers, late_layer
+from .networks import (
+    CnnSpec,
+    fractalnet_4_4,
+    resnet34,
+    table1_networks,
+    wide_resnet_40_10,
+)
+from .vgg import vgg16
+
+__all__ = [
+    "FractalBlockSpec",
+    "FractalJoinSpec",
+    "conv_count",
+    "fractal_block",
+    "ConvLayerSpec",
+    "early_layer",
+    "five_layers",
+    "late_layer",
+    "CnnSpec",
+    "fractalnet_4_4",
+    "resnet34",
+    "table1_networks",
+    "wide_resnet_40_10",
+    "vgg16",
+]

@@ -1,0 +1,100 @@
+"""FractalNet structure generation (Larsson et al., used in paper Table I).
+
+A fractal block of ``C`` columns is defined by the expansion rule
+
+.. math::
+
+    f_1 = \\mathrm{conv}, \\qquad
+    f_{C+1} = (f_C \\circ f_C) \\;\\mathrm{join}\\; \\mathrm{conv}
+
+so column ``k`` contains ``2^{k-1}`` convolutions and the block joins the
+column outputs (element-wise mean).  The paper's Section VII-A modifies the
+join to operate on Winograd-domain tiles (Fig. 14); this module only
+produces the *structure* — the spatial shapes and the join arity at every
+depth — which both the performance model and the trainable
+:mod:`repro.nn` FractalNet consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .layers import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class FractalJoinSpec:
+    """A join point: the element-wise mean of ``arity`` branch outputs."""
+
+    name: str
+    arity: int
+    channels: int
+    height: int
+    width: int
+
+
+@dataclass
+class FractalBlockSpec:
+    """One fractal block: its convolutions plus its join points."""
+
+    name: str
+    columns: int
+    convs: List[ConvLayerSpec] = field(default_factory=list)
+    joins: List[FractalJoinSpec] = field(default_factory=list)
+
+
+def fractal_block(
+    name: str,
+    columns: int,
+    in_channels: int,
+    out_channels: int,
+    height: int,
+    width: int,
+) -> FractalBlockSpec:
+    """Expand one fractal block into its convolution and join layers.
+
+    The longest column has ``2^{columns-1}`` convolutions; joins occur at
+    every depth that is a multiple of a column's period.  Only the first
+    convolution of each column sees ``in_channels``; all others operate at
+    ``out_channels``.
+    """
+    if columns < 1:
+        raise ValueError(f"columns must be >= 1, got {columns}")
+    block = FractalBlockSpec(name=name, columns=columns)
+    depth = 2 ** (columns - 1)
+    # Column k (1-based) has period 2^(columns-k): it places a conv every
+    # `period` steps of the deepest column.
+    for step in range(1, depth + 1):
+        joined_here = 0
+        for col in range(1, columns + 1):
+            period = 2 ** (columns - col)
+            if step % period == 0:
+                first_of_column = step == period
+                block.convs.append(
+                    ConvLayerSpec(
+                        name=f"{name}.s{step}.c{col}",
+                        in_channels=in_channels if first_of_column else out_channels,
+                        out_channels=out_channels,
+                        height=height,
+                        width=width,
+                    )
+                )
+                joined_here += 1
+        if joined_here > 1:
+            block.joins.append(
+                FractalJoinSpec(
+                    name=f"{name}.join{step}",
+                    arity=joined_here,
+                    channels=out_channels,
+                    height=height,
+                    width=width,
+                )
+            )
+    return block
+
+
+def conv_count(columns: int) -> int:
+    """Number of convolutions in a fractal block of ``columns`` columns
+    (``N_C = 2 N_{C-1} + 1``)."""
+    return 2**columns - 1

@@ -1,0 +1,124 @@
+"""Shape-level descriptions of the Table I networks.
+
+Each network is reduced to the list of its convolution layers (the layers
+MPT parallelises; fully-connected heads and 1x1 projections are a
+negligible fraction of both compute and weight-gradient traffic for these
+networks and are excluded, as noted in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .fractal import FractalBlockSpec, fractal_block
+from .layers import ConvLayerSpec
+
+
+@dataclass
+class CnnSpec:
+    """A CNN as a flat list of convolution layers plus metadata."""
+
+    name: str
+    dataset: str
+    conv_layers: List[ConvLayerSpec] = field(default_factory=list)
+    fractal_blocks: List[FractalBlockSpec] = field(default_factory=list)
+
+    @property
+    def param_count(self) -> int:
+        """Total convolution parameters (elements)."""
+        return sum(layer.weight_count for layer in self.conv_layers)
+
+    @property
+    def param_bytes(self) -> int:
+        """Total convolution parameters in FP32 bytes."""
+        return 4 * self.param_count
+
+
+def wide_resnet_40_10() -> CnnSpec:
+    """WRN-40-10 on CIFAR (paper Table I; ~55.6M conv parameters).
+
+    Depth 40 = 6n + 4 with n = 6: three groups of six basic blocks (two
+    3x3 convolutions each) at widths 160/320/640 and spatial sizes
+    32/16/8.  Stride-2 transitions are modelled at the post-downsample
+    spatial size.
+    """
+    layers: List[ConvLayerSpec] = [ConvLayerSpec("conv1", 3, 16, 32, 32)]
+    widths = [160, 320, 640]
+    sizes = [32, 16, 8]
+    prev_width = 16
+    for group, (width, size) in enumerate(zip(widths, sizes), start=1):
+        for block in range(6):
+            in_ch = prev_width if block == 0 else width
+            layers.append(
+                ConvLayerSpec(f"g{group}b{block}conv1", in_ch, width, size, size)
+            )
+            layers.append(
+                ConvLayerSpec(f"g{group}b{block}conv2", width, width, size, size)
+            )
+        prev_width = width
+    return CnnSpec(name="WRN-40-10", dataset="CIFAR", conv_layers=layers)
+
+
+def resnet34() -> CnnSpec:
+    """ResNet-34 on ImageNet (paper Table I; ~21M conv parameters).
+
+    Basic blocks [3, 4, 6, 3] at widths 64/128/256/512 and spatial sizes
+    56/28/14/7; the 7x7 stem is included as a kernel-7 layer (the
+    evaluation runs it with direct convolution, as real systems do).
+    """
+    layers: List[ConvLayerSpec] = [
+        ConvLayerSpec("conv1", 3, 64, 224, 224, kernel=7, pad=3)
+    ]
+    plan = [(3, 64, 56), (4, 128, 28), (6, 256, 14), (3, 512, 7)]
+    prev_width = 64
+    for stage, (blocks, width, size) in enumerate(plan, start=1):
+        for block in range(blocks):
+            in_ch = prev_width if block == 0 else width
+            layers.append(
+                ConvLayerSpec(f"s{stage}b{block}conv1", in_ch, width, size, size)
+            )
+            layers.append(
+                ConvLayerSpec(f"s{stage}b{block}conv2", width, width, size, size)
+            )
+        prev_width = width
+    return CnnSpec(name="ResNet-34", dataset="ImageNet", conv_layers=layers)
+
+
+def fractalnet_4_4() -> CnnSpec:
+    """FractalNet, 4 blocks x 4 columns, on ImageNet (paper Table I,
+    ~164M conv parameters).
+
+    Block channels 128/256/512/1024 at spatial sizes 56/28/14/7 behind a
+    small stem; each block is a 4-column fractal expansion (15
+    convolutions, joins via element-wise mean — the operation the paper
+    moves into the Winograd domain in Section VII-A).
+    """
+    stem = ConvLayerSpec("stem", 3, 64, 224, 224)
+    blocks: List[FractalBlockSpec] = []
+    layers: List[ConvLayerSpec] = [stem]
+    plan = [(128, 56), (256, 28), (512, 14), (1024, 7)]
+    prev_ch = 64
+    for index, (channels, size) in enumerate(plan, start=1):
+        block = fractal_block(
+            name=f"block{index}",
+            columns=4,
+            in_channels=prev_ch,
+            out_channels=channels,
+            height=size,
+            width=size,
+        )
+        blocks.append(block)
+        layers.extend(block.convs)
+        prev_ch = channels
+    return CnnSpec(
+        name="FractalNet",
+        dataset="ImageNet",
+        conv_layers=layers,
+        fractal_blocks=blocks,
+    )
+
+
+def table1_networks() -> List[CnnSpec]:
+    """The three CNNs of paper Table I."""
+    return [wide_resnet_40_10(), resnet34(), fractalnet_4_4()]

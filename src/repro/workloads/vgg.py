@@ -1,0 +1,39 @@
+"""VGG-16: the network family Table II's layers come from.
+
+Included as an additional whole-network workload: it is the canonical
+"many big 3x3 convolutions" CNN, stresses every regime of the
+dynamic-clustering trade-off, and lets the layer-wise Table II results be
+sanity-checked against a full network built from the same shapes.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .layers import ConvLayerSpec
+from .networks import CnnSpec
+
+_PLAN = [
+    # (blocks, channels, spatial)
+    (2, 64, 224),
+    (2, 128, 112),
+    (3, 256, 56),
+    (3, 512, 28),
+    (3, 512, 14),
+]
+
+
+def vgg16() -> CnnSpec:
+    """VGG-16's thirteen 3x3 convolution layers (~14.7M conv params)."""
+    layers: List[ConvLayerSpec] = []
+    prev_ch = 3
+    for stage, (blocks, channels, size) in enumerate(_PLAN, start=1):
+        for block in range(blocks):
+            in_ch = prev_ch if block == 0 else channels
+            layers.append(
+                ConvLayerSpec(
+                    f"conv{stage}_{block + 1}", in_ch, channels, size, size
+                )
+            )
+        prev_ch = channels
+    return CnnSpec(name="VGG-16", dataset="ImageNet", conv_layers=layers)

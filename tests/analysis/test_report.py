@@ -1,0 +1,43 @@
+"""Tests for the markdown report generator and its CLI command."""
+
+import pytest
+
+from repro.analysis.report import SECTIONS, _markdown_table, generate_report
+from repro.cli import main
+
+
+class TestMarkdownTable:
+    def test_structure(self):
+        text = _markdown_table([{"a": 1, "b": 2.5}, {"a": 3, "c": "x"}])
+        lines = text.splitlines()
+        assert lines[0] == "| a | b | c |"
+        assert lines[1] == "|---|---|---|"
+        assert len(lines) == 4
+
+    def test_empty(self):
+        assert "no rows" in _markdown_table([])
+
+
+class TestReport:
+    @pytest.fixture(scope="class")
+    def fast_report(self):
+        return generate_report(fast=True)
+
+    def test_contains_all_fast_sections(self, fast_report):
+        skipped = {"Fig. 14 — standard vs modified join",
+                   "Fig. 17 — entire-CNN scaling"}
+        for title, _, _ in SECTIONS:
+            if title in skipped:
+                assert title not in fast_report
+            else:
+                assert title in fast_report
+
+    def test_contains_headline_numbers(self, fast_report):
+        assert "paper: 2.74x" in fast_report
+        assert "perf/W ratio" in fast_report
+
+    def test_cli_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "r.md"
+        main(["report", "--fast", "-o", str(out)])
+        assert out.exists()
+        assert "# Reproduction report" in out.read_text()

@@ -1,0 +1,58 @@
+"""Tests for the shared hardware constants (paper Table III)."""
+
+import pytest
+
+from repro.params import DEFAULT_PARAMS, HardwareParams, entire_cnn_params
+
+
+class TestTable3Constants:
+    def test_full_link_rate(self):
+        # 16 lanes x 15 Gbps = 30 GB/s per direction.
+        assert DEFAULT_PARAMS.full_link_bytes_per_s == pytest.approx(30e9)
+
+    def test_narrow_link_rate(self):
+        # 8 lanes x 10 Gbps = 10 GB/s per direction.
+        assert DEFAULT_PARAMS.narrow_link_bytes_per_s == pytest.approx(10e9)
+
+    def test_dram_bandwidth(self):
+        assert DEFAULT_PARAMS.dram_bytes_per_s == pytest.approx(320e9)
+
+    def test_macs_per_cycle(self):
+        assert DEFAULT_PARAMS.macs_per_cycle == 64 * 64
+
+    def test_peak_throughput(self):
+        # 4096 MACs @ 1 GHz.
+        assert DEFAULT_PARAMS.peak_macs_per_s == pytest.approx(4.096e12)
+
+    def test_serdes_latency(self):
+        assert DEFAULT_PARAMS.serdes_latency_s == pytest.approx(5e-9)
+
+    def test_packet_efficiency(self):
+        # 256 B payload behind an 8 B header.
+        assert DEFAULT_PARAMS.packet_efficiency(256) == pytest.approx(256 / 264)
+        assert DEFAULT_PARAMS.packet_efficiency(64) < DEFAULT_PARAMS.packet_efficiency(256)
+
+    def test_link_bytes_per_cycle(self):
+        assert DEFAULT_PARAMS.link_bytes_per_cycle(full=True) == pytest.approx(30.0)
+        assert DEFAULT_PARAMS.link_bytes_per_cycle(full=False) == pytest.approx(10.0)
+
+
+class TestEntireCnnParams:
+    def test_footnote_16_configuration(self):
+        params = entire_cnn_params()
+        assert params.systolic_rows == 96
+        assert params.systolic_cols == 96
+        assert params.fp32_mul_pj < DEFAULT_PARAMS.fp32_mul_pj  # FP16 multiply
+
+    def test_other_constants_unchanged(self):
+        params = entire_cnn_params()
+        assert params.dram_bytes_per_s == DEFAULT_PARAMS.dram_bytes_per_s
+        assert params.full_link_bytes_per_s == DEFAULT_PARAMS.full_link_bytes_per_s
+
+    def test_default_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.clock_hz = 2e9  # type: ignore[misc]
+
+    def test_custom_params(self):
+        params = HardwareParams(systolic_rows=8, systolic_cols=8)
+        assert params.macs_per_cycle == 64

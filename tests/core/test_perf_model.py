@@ -1,0 +1,113 @@
+"""Tests for the per-layer performance/energy model."""
+
+import pytest
+
+from repro.core import (
+    GridConfig,
+    PerfModel,
+    d_dp,
+    powered_links,
+    w_dp,
+    w_mp,
+    w_mp_plus,
+)
+from repro.workloads import early_layer, five_layers, late_layer
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerfModel()
+
+
+class TestPhaseStructure:
+    def test_all_phases_present(self, model):
+        perf = model.evaluate_layer(late_layer(), 256, w_dp(), GridConfig(1, 256))
+        assert set(perf.phases) == {"fprop", "bprop", "update"}
+
+    def test_times_positive(self, model):
+        for config, grid in [
+            (d_dp(), GridConfig(1, 256)),
+            (w_dp(), GridConfig(1, 256)),
+            (w_mp(), GridConfig(16, 16)),
+        ]:
+            perf = model.evaluate_layer(late_layer(), 256, config, grid)
+            assert perf.forward_s > 0
+            assert perf.backward_s > 0
+            assert perf.energy_j.total_j > 0
+
+    def test_phase_time_is_max_plus_vector(self, model):
+        perf = model.evaluate_layer(late_layer(), 256, w_mp(), GridConfig(16, 16))
+        fprop = perf.phases["fprop"]
+        expected = (
+            max(fprop.compute_s, fprop.dram_s, fprop.net_tile_s) + fprop.vector_s
+        )
+        assert fprop.time_s == pytest.approx(expected)
+
+
+class TestPaperShape:
+    """The qualitative results of Fig. 15 must hold."""
+
+    def test_mpt_loses_on_early_layer(self, model):
+        base = model.evaluate_layer(early_layer(), 256, w_dp(), GridConfig(1, 256))
+        mpt = model.evaluate_layer(early_layer(), 256, w_mp(), GridConfig(16, 16))
+        assert mpt.total_s > base.total_s
+
+    def test_mpt_wins_on_late_layer(self, model):
+        base = model.evaluate_layer(late_layer(), 256, w_dp(), GridConfig(1, 256))
+        mpt = model.evaluate_layer(late_layer(), 256, w_mp(), GridConfig(16, 16))
+        assert base.total_s / mpt.total_s > 2.0
+
+    def test_prediction_improves_mpt(self, model):
+        for layer in five_layers():
+            plain = model.evaluate_layer(layer, 256, w_mp(), GridConfig(16, 16))
+            pred = model.evaluate_layer(layer, 256, w_mp_plus(), GridConfig(16, 16))
+            assert pred.total_s <= plain.total_s + 1e-12
+
+    def test_late_layer_dp_collective_bound(self, model):
+        """The premise of MPT: at p = 256 the DP baseline's update phase
+        is dominated by the weight collective for late layers."""
+        perf = model.evaluate_layer(late_layer(), 256, w_dp(), GridConfig(1, 256))
+        update = perf.phases["update"]
+        assert update.net_collective_s > update.compute_s
+
+    def test_mpt_shrinks_collective(self, model):
+        dp = model.evaluate_layer(late_layer(), 256, w_dp(), GridConfig(1, 256))
+        mp = model.evaluate_layer(late_layer(), 256, w_mp(), GridConfig(16, 16))
+        assert (
+            mp.phases["update"].net_collective_s
+            < dp.phases["update"].net_collective_s / 2
+        )
+
+    def test_mpt_reduces_per_worker_dram_weight_traffic(self, model):
+        """Section VII-B energy discussion: MPT partitions weights, so
+        per-worker DRAM energy drops versus DP for weight-heavy layers."""
+        dp = model.evaluate_layer(late_layer(), 256, w_dp(), GridConfig(1, 256))
+        mp = model.evaluate_layer(late_layer(), 256, w_mp(), GridConfig(16, 16))
+        assert mp.energy_j.dram_j < dp.energy_j.dram_j
+
+
+class TestDirectConv:
+    def test_direct_more_compute_than_winograd(self, model):
+        layer = five_layers()[1]
+        direct = model.evaluate_layer(layer, 256, d_dp(), GridConfig(1, 256))
+        wino = model.evaluate_layer(layer, 256, w_dp(), GridConfig(1, 256))
+        assert (
+            direct.phases["fprop"].compute_s > wino.phases["fprop"].compute_s
+        )
+
+    def test_direct_less_dram_than_winograd(self, model):
+        layer = five_layers()[1]
+        direct = model.evaluate_layer(layer, 256, d_dp(), GridConfig(1, 256))
+        wino = model.evaluate_layer(layer, 256, w_dp(), GridConfig(1, 256))
+        assert direct.phases["fprop"].dram_s < wino.phases["fprop"].dram_s
+
+
+class TestPoweredLinks:
+    def test_dp_uses_ring_links_only(self):
+        full, narrow = powered_links(w_dp(), GridConfig(1, 256))
+        assert (full, narrow) == (8, 0)
+
+    def test_mpt_adds_fbfly_links(self):
+        full, narrow = powered_links(w_mp(), GridConfig(16, 16))
+        assert full == 4
+        assert narrow == 12  # 2 * 6 narrow links in a 4x4 FBFLY

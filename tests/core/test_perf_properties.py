@@ -1,0 +1,82 @@
+"""Hypothesis property tests on the performance model: physical
+sanity invariants that must hold for any layer shape."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import GridConfig, PerfModel, w_dp, w_mp, w_mp_plus
+from repro.workloads import ConvLayerSpec
+
+MODEL = PerfModel()
+
+
+@st.composite
+def layer_shapes(draw):
+    channels = draw(st.sampled_from([16, 64, 128, 256, 512]))
+    out_channels = draw(st.sampled_from([16, 64, 128, 256, 512]))
+    size = draw(st.sampled_from([8, 14, 28, 56]))
+    return ConvLayerSpec("prop", channels, out_channels, size, size)
+
+
+class TestPhysicalInvariants:
+    @given(layer=layer_shapes())
+    @settings(max_examples=25, deadline=None)
+    def test_all_times_and_energy_positive(self, layer):
+        for config, grid in [
+            (w_dp(), GridConfig(1, 256)),
+            (w_mp(), GridConfig(16, 16)),
+            (w_mp(), GridConfig(4, 64)),
+        ]:
+            perf = MODEL.evaluate_layer(layer, 256, config, grid)
+            assert perf.forward_s > 0
+            assert perf.backward_s > 0
+            assert perf.energy_j.total_j > 0
+
+    @given(layer=layer_shapes())
+    @settings(max_examples=20, deadline=None)
+    def test_prediction_never_slows_a_layer(self, layer):
+        grid = GridConfig(16, 16)
+        plain = MODEL.evaluate_layer(layer, 256, w_mp(), grid)
+        pred = MODEL.evaluate_layer(layer, 256, w_mp_plus(), grid)
+        assert pred.total_s <= plain.total_s + 1e-12
+
+    @given(layer=layer_shapes())
+    @settings(max_examples=20, deadline=None)
+    def test_compute_scales_down_with_more_workers(self, layer):
+        """Per-worker compute time must shrink when the same batch is
+        spread over more clusters."""
+        small = MODEL.evaluate_layer(layer, 256, w_mp(), GridConfig(4, 8))
+        large = MODEL.evaluate_layer(layer, 256, w_mp(), GridConfig(4, 64))
+        assert (
+            large.phases["fprop"].compute_s
+            <= small.phases["fprop"].compute_s + 1e-12
+        )
+
+    @given(layer=layer_shapes())
+    @settings(max_examples=20, deadline=None)
+    def test_collective_independent_of_batch(self, layer):
+        """Weight-gradient collective time depends on |W| only."""
+        a = MODEL.evaluate_layer(layer, 128, w_mp(), GridConfig(16, 16))
+        b = MODEL.evaluate_layer(layer, 512, w_mp(), GridConfig(16, 16))
+        assert a.phases["update"].net_collective_s == b.phases["update"].net_collective_s
+
+    @given(layer=layer_shapes())
+    @settings(max_examples=20, deadline=None)
+    def test_more_groups_less_collective(self, layer):
+        few = MODEL.evaluate_layer(layer, 256, w_mp(), GridConfig(4, 64))
+        many = MODEL.evaluate_layer(layer, 256, w_mp(), GridConfig(16, 16))
+        assert (
+            many.phases["update"].net_collective_s
+            <= few.phases["update"].net_collective_s + 1e-12
+        )
+
+    @given(layer=layer_shapes())
+    @settings(max_examples=20, deadline=None)
+    def test_energy_breakdown_components_nonnegative(self, layer):
+        perf = MODEL.evaluate_layer(layer, 256, w_mp_plus(), GridConfig(16, 16))
+        energy = perf.energy_j
+        assert energy.compute_j >= 0
+        assert energy.sram_j >= 0
+        assert energy.dram_j >= 0
+        assert energy.link_j >= 0
+        assert energy.link_idle_j >= 0

@@ -1,0 +1,80 @@
+"""Tests for trace generation and replay on the simulated machine."""
+
+import pytest
+
+from repro.core import GridConfig, w_dp, w_mp
+from repro.core.trace import (
+    build_tile_transfer_trace,
+    replay_on_machine,
+    trace_validate_layer,
+)
+from repro.netsim.topology import hybrid
+from repro.workloads import ConvLayerSpec
+
+
+@pytest.fixture
+def small_layer():
+    return ConvLayerSpec("small", 16, 16, 8, 8)
+
+
+class TestTraceGeneration:
+    def test_message_count(self, small_layer):
+        grid = GridConfig(4, 2)
+        _, layout = hybrid(4, 2)
+        trace = build_tile_transfer_trace(small_layer, 8, w_mp(), grid, layout)
+        # 2 clusters x 4*3 ordered pairs.
+        assert len(trace.messages) == 2 * 12
+
+    def test_messages_stay_in_cluster(self, small_layer):
+        grid = GridConfig(4, 4)
+        _, layout = hybrid(4, 4)
+        trace = build_tile_transfer_trace(small_layer, 8, w_mp(), grid, layout)
+        for message in trace.messages:
+            assert message.src % 4 == message.dst % 4  # same cluster
+
+    def test_dp_trace_empty(self, small_layer):
+        grid = GridConfig(1, 4)
+        _, layout = hybrid(1, 4)
+        trace = build_tile_transfer_trace(small_layer, 8, w_dp(), grid, layout)
+        assert trace.messages == []
+
+    def test_invalid_phase_rejected(self, small_layer):
+        grid = GridConfig(4, 2)
+        _, layout = hybrid(4, 2)
+        with pytest.raises(ValueError):
+            build_tile_transfer_trace(
+                small_layer, 8, w_mp(), grid, layout, phase="update"
+            )
+
+    def test_volume_matches_comm_model(self, small_layer):
+        from repro.core import layer_comm_volume
+
+        grid = GridConfig(4, 2)
+        _, layout = hybrid(4, 2)
+        trace = build_tile_transfer_trace(small_layer, 8, w_mp(), grid, layout)
+        volume = layer_comm_volume(small_layer, 8, w_mp(), grid)
+        per_worker = volume.scatter_fprop + volume.gather_fprop
+        total_expected = per_worker * grid.workers
+        total_trace = sum(m.size_bytes for m in trace.messages)
+        assert total_trace == pytest.approx(total_expected, rel=0.02)
+
+
+class TestReplay:
+    def test_replay_close_to_closed_form(self, small_layer):
+        """The trace replayed on the full hybrid machine must land near
+        the all-to-all closed form the performance model uses."""
+        result = trace_validate_layer(small_layer, 8, w_mp(), GridConfig(4, 2))
+        assert 0.8 < result["ratio"] < 1.4
+
+    def test_replay_16_worker_cluster(self):
+        layer = ConvLayerSpec("mid", 32, 32, 8, 8)
+        result = trace_validate_layer(layer, 16, w_mp(), GridConfig(16, 1))
+        assert 0.8 < result["ratio"] < 1.4
+
+    def test_empty_trace(self, small_layer):
+        grid = GridConfig(1, 2)
+        topology, layout = hybrid(1, 2)
+        trace = build_tile_transfer_trace(small_layer, 8, w_dp(), grid, layout)
+        result = replay_on_machine(trace, topology)
+        assert result.finish_time_s == 0.0
+        assert result.messages == 0

@@ -1,0 +1,79 @@
+"""Tests for the multi-GPU baseline model."""
+
+import pytest
+
+from repro.gpu import (
+    DgxSystem,
+    kernel_efficiency,
+    layer_phase_time,
+    nccl_allreduce_time,
+)
+from repro.workloads import five_layers, resnet34
+
+
+class TestKernelEfficiency:
+    def test_monotone_in_batch(self):
+        assert kernel_efficiency(100) < kernel_efficiency(1000) < kernel_efficiency(1e6)
+
+    def test_bounded_by_base(self):
+        from repro.gpu import DEFAULT_GPU
+
+        assert kernel_efficiency(1e12) <= DEFAULT_GPU.base_efficiency
+
+    def test_zero_rows(self):
+        assert kernel_efficiency(0) == 0.0
+
+
+class TestLayerPhase:
+    def test_more_batch_more_time_less_than_linear(self):
+        layer = five_layers()[1]
+        t32 = layer_phase_time(layer, 32)
+        t256 = layer_phase_time(layer, 256)
+        assert t256 > t32
+        assert t256 < 8 * t32  # efficiency improves with batch
+
+
+class TestNccl:
+    def test_single_gpu_free(self):
+        assert nccl_allreduce_time(1e6, 1) == 0.0
+
+    def test_bandwidth_term(self):
+        t2 = nccl_allreduce_time(100e6, 2, call_overhead_s=0.0)
+        t8 = nccl_allreduce_time(100e6, 8, call_overhead_s=0.0)
+        # 2(n-1)/n: 1.0 vs 1.75.
+        assert t8 / t2 == pytest.approx(1.75)
+
+
+class TestDgx:
+    def test_sub_linear_scaling_at_fixed_batch(self):
+        """Fig. 17: fixed total batch -> sub-linear multi-GPU scaling."""
+        dgx = DgxSystem()
+        net = resnet34()
+        r1 = dgx.simulate_iteration(net, 256, 1)
+        r8 = dgx.simulate_iteration(net, 256, 8)
+        speedup = r8.images_per_s / r1.images_per_s
+        assert 2.0 < speedup < 7.5
+
+    def test_larger_batch_more_throughput(self):
+        """Fig. 18: the GPU system prefers 2K-4K batches."""
+        dgx = DgxSystem()
+        net = resnet34()
+        best = dgx.best_batch(net, 8)
+        fixed = dgx.simulate_iteration(net, 256, 8)
+        assert best.images_per_s > fixed.images_per_s
+        assert best.batch >= 1024
+
+    def test_invalid_gpu_count_rejected(self):
+        with pytest.raises(ValueError):
+            DgxSystem().simulate_iteration(resnet34(), 256, 0)
+
+    def test_power(self):
+        dgx = DgxSystem()
+        assert dgx.power_w(8) == pytest.approx(8 * 300 + 300)
+
+    def test_single_gpu_plausible_throughput(self):
+        """Calibration: one V100 runs ResNet-34-class training at some
+        hundreds to a couple thousand images/s."""
+        dgx = DgxSystem()
+        result = dgx.simulate_iteration(resnet34(), 256, 1)
+        assert 200 < result.images_per_s < 4000

@@ -1,0 +1,73 @@
+"""Cross-validation: the closed-form network terms the performance model
+uses must agree with the event-driven simulator (DESIGN.md Section 5)."""
+
+import pytest
+
+from repro.netsim import (
+    NetworkSimulator,
+    all_to_all,
+    all_to_all_time,
+    fbfly_injection_rate,
+    hybrid,
+    ring,
+    ring_allreduce,
+    ring_allreduce_time,
+)
+from repro.params import DEFAULT_PARAMS
+
+
+class TestCollectiveClosedForms:
+    @pytest.mark.parametrize("nodes,size", [(4, 50_000), (8, 200_000), (16, 500_000)])
+    def test_ring_allreduce(self, nodes, size):
+        sim = NetworkSimulator(
+            ring(nodes), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        simulated = ring_allreduce(sim, list(range(nodes)), size).finish_time_s
+        closed = ring_allreduce_time(size, nodes, DEFAULT_PARAMS.full_link_bytes_per_s)
+        assert simulated == pytest.approx(closed, rel=0.08)
+
+    @pytest.mark.parametrize("cluster,size", [(4, 20_000), (16, 10_000)])
+    def test_all_to_all_on_hybrid_cluster(self, cluster, size):
+        """The exact topology the machine uses: a cluster inside the
+        hybrid ring+FBFLY network."""
+        topo, layout = hybrid(cluster, 4)
+        sim = NetworkSimulator(topo, packet_bytes=DEFAULT_PARAMS.data_packet_bytes)
+        members = layout.cluster_members(0)
+        simulated = all_to_all(sim, members, size).finish_time_s
+        closed = all_to_all_time(size, cluster, fbfly_injection_rate(cluster))
+        assert simulated == pytest.approx(closed, rel=0.15)
+
+    def test_group_collective_on_hybrid(self):
+        """Ring all-reduce within a group of the hybrid topology matches
+        the closed form used by PerfModel._collective_seconds."""
+        topo, layout = hybrid(4, 8)
+        sim = NetworkSimulator(
+            topo, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        members = layout.group_members(2)
+        size = 250_000
+        simulated = ring_allreduce(sim, members, size).finish_time_s
+        closed = ring_allreduce_time(size, 8, DEFAULT_PARAMS.full_link_bytes_per_s)
+        assert simulated == pytest.approx(closed, rel=0.08)
+
+    def test_concurrent_rings_do_not_interfere(self):
+        """MPT runs one collective per group concurrently; on the hybrid
+        topology the group rings are disjoint so times match solo runs."""
+        topo, layout = hybrid(4, 4)
+        sim = NetworkSimulator(
+            topo, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        durations = []
+        for g in range(4):
+            start = sim.now
+            result = ring_allreduce(
+                sim, layout.group_members(g), 100_000, start_time=start
+            )
+            durations.append(result.finish_time_s - start)
+        solo_topo, solo_layout = hybrid(4, 4)
+        solo_sim = NetworkSimulator(
+            solo_topo, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        solo = ring_allreduce(solo_sim, solo_layout.group_members(0), 100_000)
+        for duration in durations:
+            assert duration == pytest.approx(solo.finish_time_s, rel=0.05)

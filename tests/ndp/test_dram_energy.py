@@ -1,0 +1,76 @@
+"""Tests for the DRAM and energy models."""
+
+import pytest
+
+from repro.ndp import DramModel, EnergyBreakdown, EnergyModel
+from repro.params import DEFAULT_PARAMS
+
+
+class TestDram:
+    def test_transfer_time_linear(self):
+        dram = DramModel(efficiency=1.0)
+        t1 = dram.transfer_time(1e6)
+        t2 = dram.transfer_time(2e6)
+        assert t2 == pytest.approx(2 * t1)
+        assert t1 == pytest.approx(1e6 / DEFAULT_PARAMS.dram_bytes_per_s)
+
+    def test_efficiency_derates(self):
+        fast = DramModel(efficiency=1.0)
+        slow = DramModel(efficiency=0.5)
+        assert slow.transfer_time(1e6) == pytest.approx(2 * fast.transfer_time(1e6))
+
+    def test_invalid_efficiency_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel(efficiency=0.0)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            DramModel().transfer_time(-1)
+
+    def test_burst_access_interleaves_vaults(self):
+        dram = DramModel(vaults=4, efficiency=1.0, interleave_bytes=256)
+        # A 1 KiB burst spreads over all 4 vaults -> finishes in the time
+        # one vault needs for 256 bytes.
+        finish = dram.access(0, 1024, 0.0)
+        assert finish == pytest.approx(256 / dram.vault_bytes_per_s)
+
+    def test_burst_same_vault_serialises(self):
+        dram = DramModel(vaults=4, efficiency=1.0, interleave_bytes=256)
+        dram.access(0, 256, 0.0)
+        second = dram.access(0, 256, 0.0)  # same home vault
+        assert second == pytest.approx(2 * 256 / dram.vault_bytes_per_s)
+
+    def test_reset(self):
+        dram = DramModel()
+        dram.access(0, 1024, 0.0)
+        dram.reset()
+        assert dram.access(0, 256, 0.0) == pytest.approx(
+            256 / dram.vault_bytes_per_s
+        )
+
+
+class TestEnergy:
+    def test_mac_energy_uses_paper_constants(self):
+        model = EnergyModel()
+        # 0.9 pJ add + 3.7 pJ mul per MAC.
+        assert model.mac_energy(1e12) == pytest.approx(4.6)
+
+    def test_dram_energy_per_bit(self):
+        model = EnergyModel()
+        assert model.dram_energy(1) == pytest.approx(8 * 3.7e-12)
+
+    def test_breakdown_addition(self):
+        a = EnergyBreakdown(compute_j=1.0, dram_j=2.0)
+        b = EnergyBreakdown(compute_j=0.5, link_j=1.0)
+        total = a + b
+        assert total.compute_j == 1.5
+        assert total.total_j == pytest.approx(4.5)
+
+    def test_breakdown_scaling(self):
+        a = EnergyBreakdown(compute_j=1.0, sram_j=2.0)
+        assert a.scaled(3.0).total_j == pytest.approx(9.0)
+
+    def test_idle_energy_counts_links_and_time(self):
+        model = EnergyModel()
+        e = model.link_idle_energy(2.0, full_links=4, narrow_links=0)
+        assert e == pytest.approx(2.0 * 4 * DEFAULT_PARAMS.full_link_idle_w)

@@ -1,0 +1,62 @@
+"""Tests for the systolic-array timing model."""
+
+import pytest
+
+from repro.ndp import batched_gemm_cycles, gemm_cycles, required_stream_bandwidth
+from repro.params import DEFAULT_PARAMS
+
+
+class TestGemmCycles:
+    def test_exact_fit(self):
+        # 64x64 array, K=N=64: one pass of M rows plus one fill.
+        timing = gemm_cycles(100, 64, 64)
+        assert timing.cycles == 100 + 128
+        assert timing.macs == 100 * 64 * 64
+
+    def test_tiling_multiplies_passes(self):
+        timing = gemm_cycles(100, 128, 128)
+        assert timing.cycles == 4 * 100 + 128
+
+    def test_ragged_dims_round_up(self):
+        timing = gemm_cycles(10, 65, 1)
+        assert timing.cycles == 2 * 10 + 128
+
+    def test_utilization_bounded(self):
+        for shape in [(1, 1, 1), (4096, 512, 512), (16, 512, 512)]:
+            util = gemm_cycles(*shape).utilization
+            assert 0.0 < util <= 1.0
+
+    def test_large_m_reaches_high_utilization(self):
+        assert gemm_cycles(100_000, 64, 64).utilization > 0.99
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ValueError):
+            gemm_cycles(0, 1, 1)
+
+
+class TestBatchedGemm:
+    def test_zero_count(self):
+        assert batched_gemm_cycles(0, 10, 10, 10) == 0
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            batched_gemm_cycles(-1, 10, 10, 10)
+
+    def test_fill_paid_once(self):
+        """The T^2 element GEMMs pipeline back to back (double-buffered
+        weights), so doubling the count less-than-doubles cycles."""
+        one = batched_gemm_cycles(1, 100, 64, 64)
+        two = batched_gemm_cycles(2, 100, 64, 64)
+        assert two == 2 * one - 128
+
+    def test_consistent_with_single(self):
+        assert batched_gemm_cycles(1, 50, 64, 64) == gemm_cycles(50, 64, 64).cycles
+
+
+class TestBandwidthBalance:
+    def test_section_6b_argument(self):
+        """Section VI-B: one streaming side needs 256 GB/s, within the
+        stack's 320 GB/s."""
+        needed = required_stream_bandwidth()
+        assert needed == pytest.approx(256e9)
+        assert needed < DEFAULT_PARAMS.dram_bytes_per_s

@@ -1,0 +1,54 @@
+"""Tests for the composed NDP worker model."""
+
+import pytest
+
+from repro.ndp import NdpWorker, WorkBlock
+from repro.params import DEFAULT_PARAMS
+
+
+class TestWorker:
+    def test_compute_bound_block(self):
+        worker = NdpWorker()
+        block = WorkBlock(gemm_count=16, gemm_m=4096, gemm_k=512, gemm_n=512,
+                          dram_bytes=1e6)
+        timing = worker.evaluate(block)
+        assert timing.compute_s > timing.dram_s
+        assert timing.time_s == pytest.approx(timing.compute_s + timing.vector_s)
+
+    def test_memory_bound_block(self):
+        worker = NdpWorker()
+        block = WorkBlock(gemm_count=1, gemm_m=64, gemm_k=64, gemm_n=64,
+                          dram_bytes=1e9)
+        timing = worker.evaluate(block)
+        assert timing.dram_s > timing.compute_s
+        assert timing.time_s >= timing.dram_s
+
+    def test_vector_tail_added(self):
+        worker = NdpWorker()
+        with_vec = worker.evaluate(WorkBlock(vector_flops=1e6))
+        without = worker.evaluate(WorkBlock())
+        assert with_vec.time_s > without.time_s
+        expected = 1e6 / (DEFAULT_PARAMS.vector_lanes * DEFAULT_PARAMS.clock_hz)
+        assert with_vec.vector_s == pytest.approx(expected)
+
+    def test_energy_components_positive(self):
+        worker = NdpWorker()
+        timing = worker.evaluate(
+            WorkBlock(gemm_count=2, gemm_m=128, gemm_k=128, gemm_n=128,
+                      vector_flops=1e4, dram_bytes=1e6)
+        )
+        assert timing.energy.compute_j > 0
+        assert timing.energy.dram_j > 0
+        assert timing.energy.sram_j > 0
+
+    def test_sram_defaults_to_double_dram(self):
+        worker = NdpWorker()
+        explicit = worker.evaluate(WorkBlock(dram_bytes=1e6, sram_bytes=2e6))
+        default = worker.evaluate(WorkBlock(dram_bytes=1e6))
+        assert explicit.energy.sram_j == pytest.approx(default.energy.sram_j)
+
+    def test_empty_block_is_free(self):
+        worker = NdpWorker()
+        timing = worker.evaluate(WorkBlock())
+        assert timing.time_s == 0.0
+        assert timing.energy.total_j == 0.0

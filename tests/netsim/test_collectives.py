@@ -1,0 +1,94 @@
+"""Tests for collectives on the simulated network vs closed forms."""
+
+import pytest
+
+from repro.netsim import (
+    NetworkSimulator,
+    all_to_all,
+    all_to_all_time,
+    fbfly_injection_rate,
+    flattened_butterfly_2d,
+    ring,
+    ring_allreduce,
+    ring_allreduce_time,
+)
+from repro.netsim.collectives import fbfly_avg_hops, fbfly_shape
+from repro.params import DEFAULT_PARAMS
+
+
+class TestRingAllreduce:
+    @pytest.mark.parametrize("nodes", [2, 4, 8])
+    def test_simulated_matches_closed_form(self, nodes):
+        topo = ring(nodes)
+        sim = NetworkSimulator(
+            topo, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        size = 200_000
+        result = ring_allreduce(sim, list(range(nodes)), size)
+        closed = ring_allreduce_time(size, nodes, DEFAULT_PARAMS.full_link_bytes_per_s)
+        assert result.finish_time_s == pytest.approx(closed, rel=0.05)
+
+    def test_single_node_free(self):
+        topo = ring(2)
+        sim = NetworkSimulator(topo)
+        result = ring_allreduce(sim, [0], 1_000_000)
+        assert result.finish_time_s == 0.0
+        assert ring_allreduce_time(1_000_000, 1, 1e9) == 0.0
+
+    def test_total_traffic_is_2_n_minus_1_slices(self):
+        nodes = 4
+        topo = ring(nodes)
+        sim = NetworkSimulator(topo, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes)
+        size = 100_000
+        result = ring_allreduce(sim, list(range(nodes)), size)
+        # 2(n-1) steps, each sending n slices of size/n.
+        expected = 2 * (nodes - 1) * nodes * (size // nodes)
+        assert result.total_bytes_on_wire == pytest.approx(expected, rel=0.01)
+
+    def test_closed_form_scales_with_rings(self):
+        one = ring_allreduce_time(1_000_000, 8, 30e9, rings=1)
+        four = ring_allreduce_time(1_000_000, 8, 30e9, rings=4)
+        assert one > four
+        # Bandwidth term scales exactly 4x; latency term unchanged.
+        assert one / four < 4.0 + 1e-9
+
+    def test_closed_form_nearly_constant_in_n(self):
+        """The paper's scalability premise: ring all-reduce time is
+        ~constant in worker count (2(n-1)/n -> 2)."""
+        small = ring_allreduce_time(10_000_000, 16, 30e9)
+        large = ring_allreduce_time(10_000_000, 256, 30e9)
+        assert large < 1.2 * small
+
+
+class TestAllToAll:
+    def test_simulated_matches_closed_form_4x4(self):
+        topo = flattened_butterfly_2d(4, 4)
+        sim = NetworkSimulator(topo, packet_bytes=DEFAULT_PARAMS.data_packet_bytes)
+        result = all_to_all(sim, list(range(16)), 20_000)
+        closed = all_to_all_time(20_000, 16, fbfly_injection_rate(16))
+        assert result.finish_time_s == pytest.approx(closed, rel=0.1)
+
+    def test_message_count(self):
+        topo = flattened_butterfly_2d(2, 2)
+        sim = NetworkSimulator(topo)
+        result = all_to_all(sim, list(range(4)), 1000)
+        assert result.messages == 12  # n(n-1)
+
+    def test_shape_small_clusters_fully_connected(self):
+        assert fbfly_shape(4) == (1, 4)
+        assert fbfly_shape(2) == (1, 2)
+        assert fbfly_shape(16) == (4, 4)
+
+    def test_avg_hops(self):
+        assert fbfly_avg_hops(4) == 1.0  # fully connected
+        assert fbfly_avg_hops(16) == pytest.approx((6 + 2 * 9) / 15)
+
+    def test_injection_rate(self):
+        # 4x4 FBFLY: 6 narrow links per node.
+        assert fbfly_injection_rate(16) == pytest.approx(
+            6 * DEFAULT_PARAMS.narrow_link_bytes_per_s
+        )
+        assert fbfly_injection_rate(1) == float("inf")
+
+    def test_trivial_sizes(self):
+        assert all_to_all_time(1000, 1, 10e9) == 0.0

@@ -1,0 +1,87 @@
+"""Tests for host-bridged dynamic-clustering reconfiguration."""
+
+import pytest
+
+from repro.netsim import NetworkSimulator, ring_allreduce, ring_allreduce_time
+from repro.netsim.reconfiguration import paper_configurations, reconfigure
+from repro.params import DEFAULT_PARAMS
+
+
+class TestSplicePlan:
+    def test_paper_three_configurations(self):
+        configs = paper_configurations()
+        names = [name for name, _ in configs]
+        assert names == ["16Ng-16Nc", "4Ng-64Nc", "1Ng-256Nc"]
+        sizes = [m.logical_group_count for _, m in configs]
+        assert sizes == [16, 4, 1]
+
+    def test_ring_lengths(self):
+        machine = reconfigure(16, 16, 4)
+        assert all(len(r) == 64 for r in machine.logical_rings)
+        machine1 = reconfigure(16, 16, 1)
+        assert len(machine1.logical_rings[0]) == 256
+
+    def test_rings_partition_workers(self):
+        machine = reconfigure(16, 16, 4)
+        seen = [w for ring_ in machine.logical_rings for w in ring_]
+        assert sorted(seen) == list(range(256))
+
+    def test_uneven_merge_rejected(self):
+        with pytest.raises(ValueError):
+            reconfigure(16, 16, 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            reconfigure(16, 16, 32)
+
+
+class TestRingConnectivity:
+    @pytest.mark.parametrize("logical", [1, 4, 16])
+    def test_logical_ring_neighbours_directly_linked(self, logical):
+        """Every consecutive pair on a logical ring (including the wrap)
+        has a direct link — physical or host bridge."""
+        machine = reconfigure(8, 4, logical if logical <= 8 else 8)
+        for ring_order in machine.logical_rings:
+            for a, b in zip(ring_order, ring_order[1:] + ring_order[:1]):
+                assert b in machine.topology.neighbors(a)
+
+    def test_16_16_needs_no_bridges(self):
+        machine = reconfigure(16, 16, 16)
+        bridges = [l for l in machine.topology.links if l.name == "host-bridge"]
+        assert not bridges
+
+    def test_merged_configs_add_bridges(self):
+        machine = reconfigure(16, 16, 4)
+        bridges = [l for l in machine.topology.links if l.name == "host-bridge"]
+        assert bridges
+
+
+class TestCollectivesOnLogicalRings:
+    def test_allreduce_on_spliced_ring_matches_closed_form(self):
+        """A collective on a 16-worker spliced logical ring (4 physical
+        groups of 4) performs like a plain 16-ring — reconfiguration
+        costs no bandwidth, as Section IV claims."""
+        machine = reconfigure(4, 4, 1)
+        ring_order = machine.logical_rings[0]
+        assert len(ring_order) == 16
+        sim = NetworkSimulator(
+            machine.topology, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        size = 400_000
+        result = ring_allreduce(sim, ring_order, size)
+        closed = ring_allreduce_time(
+            size, 16, DEFAULT_PARAMS.full_link_bytes_per_s
+        )
+        assert result.finish_time_s == pytest.approx(closed, rel=0.08)
+
+    def test_four_spliced_rings_concurrently_independent(self):
+        machine = reconfigure(8, 4, 4)
+        sim = NetworkSimulator(
+            machine.topology, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        durations = []
+        for ring_order in machine.logical_rings:
+            start = sim.now
+            result = ring_allreduce(sim, ring_order, 100_000, start_time=start)
+            durations.append(result.finish_time_s - start)
+        assert max(durations) == pytest.approx(min(durations), rel=0.05)

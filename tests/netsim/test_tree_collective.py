@@ -1,0 +1,87 @@
+"""Tests for the binomial-tree collective baseline."""
+
+import pytest
+
+from repro.netsim import NetworkSimulator, ring, ring_allreduce, ring_allreduce_time
+from repro.netsim.tree_collective import (
+    binomial_tree_allreduce,
+    tree_allreduce_time,
+)
+from repro.netsim.topology import Topology
+from repro.params import DEFAULT_PARAMS
+
+
+def fully_connected(n):
+    topo = Topology(num_nodes=n)
+    lat = DEFAULT_PARAMS.serdes_latency_s
+    for a in range(n):
+        for b in range(a + 1, n):
+            topo.add_bidirectional(a, b, DEFAULT_PARAMS.full_link_bytes_per_s, lat)
+    return topo
+
+
+class TestTreeCollective:
+    def test_single_node_free(self):
+        sim = NetworkSimulator(ring(2))
+        result = binomial_tree_allreduce(sim, [0], 1_000_000)
+        assert result.finish_time_s == 0.0
+
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_matches_closed_form_on_full_graph(self, n):
+        sim = NetworkSimulator(
+            fully_connected(n), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        size = 100_000
+        result = binomial_tree_allreduce(sim, list(range(n)), size)
+        closed = tree_allreduce_time(size, n, DEFAULT_PARAMS.full_link_bytes_per_s)
+        assert result.finish_time_s == pytest.approx(closed, rel=0.25)
+
+    def test_step_count(self):
+        sim = NetworkSimulator(fully_connected(8))
+        result = binomial_tree_allreduce(sim, list(range(8)), 10_000)
+        assert result.steps == 2 * 3
+
+    def test_total_bytes_log_scaling(self):
+        """Tree moves (n-1) full messages per phase: 2(n-1)·|M| total."""
+        n, size = 8, 50_000
+        sim = NetworkSimulator(fully_connected(n))
+        result = binomial_tree_allreduce(sim, list(range(n)), size)
+        assert result.total_bytes_on_wire == pytest.approx(2 * (n - 1) * size)
+
+    def test_non_power_of_two(self):
+        sim = NetworkSimulator(fully_connected(6))
+        result = binomial_tree_allreduce(sim, list(range(6)), 10_000)
+        assert result.finish_time_s > 0
+
+
+class TestRingVsTree:
+    """The paper's design argument: rings win for large weight-gradient
+    buffers; trees win only for small (latency-bound) messages."""
+
+    def test_ring_wins_large_messages(self):
+        n, size = 8, 4_000_000
+        tree_sim = NetworkSimulator(
+            fully_connected(n), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        tree = binomial_tree_allreduce(tree_sim, list(range(n)), size)
+        ring_sim = NetworkSimulator(
+            ring(n), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        ring_result = ring_allreduce(ring_sim, list(range(n)), size)
+        assert ring_result.finish_time_s < tree.finish_time_s
+
+    def test_tree_wins_tiny_messages(self):
+        n, size = 16, 512
+        tree = tree_allreduce_time(size, n, DEFAULT_PARAMS.full_link_bytes_per_s)
+        ring_time = ring_allreduce_time(size, n, DEFAULT_PARAMS.full_link_bytes_per_s)
+        assert tree < ring_time
+
+    def test_crossover_exists(self):
+        """Somewhere between tiny and huge messages the winner flips."""
+        n = 16
+        bw = DEFAULT_PARAMS.full_link_bytes_per_s
+        small = tree_allreduce_time(256, n, bw) < ring_allreduce_time(256, n, bw)
+        large = tree_allreduce_time(8_000_000, n, bw) > ring_allreduce_time(
+            8_000_000, n, bw
+        )
+        assert small and large

@@ -1,0 +1,82 @@
+"""Tests for losses and the SGD optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.nn import SGD, Dense, Sequential, accuracy, softmax_cross_entropy
+
+
+class TestSoftmaxCrossEntropy:
+    def test_uniform_logits_loss(self):
+        logits = np.zeros((4, 10))
+        labels = np.array([0, 3, 5, 9])
+        loss, _ = softmax_cross_entropy(logits, labels)
+        assert loss == pytest.approx(np.log(10), rel=1e-6)
+
+    def test_gradient_numeric(self):
+        rng = np.random.default_rng(0)
+        logits = rng.standard_normal((3, 5))
+        labels = np.array([1, 4, 2])
+        _, grad = softmax_cross_entropy(logits, labels)
+        eps = 1e-6
+        for idx in [(0, 1), (2, 3)]:
+            lp, lm = logits.copy(), logits.copy()
+            lp[idx] += eps
+            lm[idx] -= eps
+            num = (
+                softmax_cross_entropy(lp, labels)[0]
+                - softmax_cross_entropy(lm, labels)[0]
+            ) / (2 * eps)
+            assert abs(grad[idx] - num) < 1e-6
+
+    def test_gradient_rows_sum_to_zero(self):
+        rng = np.random.default_rng(1)
+        logits = rng.standard_normal((6, 4))
+        labels = rng.integers(0, 4, 6)
+        _, grad = softmax_cross_entropy(logits, labels)
+        np.testing.assert_allclose(grad.sum(axis=1), 0.0, atol=1e-12)
+
+    def test_extreme_logits_stable(self):
+        logits = np.array([[1000.0, -1000.0], [-1000.0, 1000.0]])
+        loss, grad = softmax_cross_entropy(logits, np.array([0, 1]))
+        assert np.isfinite(loss)
+        assert np.all(np.isfinite(grad))
+
+    def test_accuracy(self):
+        logits = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 0.0]])
+        assert accuracy(logits, np.array([0, 1, 1])) == pytest.approx(2 / 3)
+
+
+class TestSGD:
+    def _linear_net(self, seed=0):
+        return Sequential([Dense(3, 1, rng=np.random.default_rng(seed))])
+
+    def test_step_reduces_quadratic_loss(self):
+        net = self._linear_net()
+        opt = SGD(net, lr=0.05, momentum=0.0)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((16, 3))
+        target = x @ np.array([[1.0], [-2.0], [0.5]])
+        losses = []
+        for _ in range(50):
+            opt.zero_grads()
+            y = net.forward(x)
+            diff = y - target
+            losses.append(float((diff**2).mean()))
+            net.backward(2 * diff / len(x))
+            opt.step()
+        assert losses[-1] < 0.05 * losses[0]
+
+    def test_momentum_accumulates_velocity(self):
+        net = self._linear_net()
+        opt = SGD(net, lr=0.1, momentum=0.9)
+        layer = net.layers[0]
+        layer.grads["w"][:] = 1.0
+        layer.grads["b"][:] = 0.0
+        before = layer.params["w"].copy()
+        opt.step()
+        first_delta = layer.params["w"] - before
+        before2 = layer.params["w"].copy()
+        opt.step()
+        second_delta = layer.params["w"] - before2
+        np.testing.assert_allclose(second_delta, first_delta * 1.9, rtol=1e-9)

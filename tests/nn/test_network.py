@@ -1,0 +1,79 @@
+"""Tests for network containers and the FractalNet join equivalence."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ReLU, Sequential, fractalnet_small, small_cnn
+
+
+class TestSequential:
+    def test_forward_backward_chain(self):
+        net = small_cnn(width=4, classes=3, seed=0)
+        x = np.random.default_rng(0).standard_normal((2, 3, 8, 8))
+        y = net.forward(x)
+        assert y.shape == (2, 3)
+        dx = net.backward(np.ones_like(y))
+        assert dx.shape == x.shape
+
+    def test_parameters_enumerated(self):
+        net = small_cnn(width=4, classes=3, seed=0)
+        names = [(type(layer).__name__, name) for layer, name in net.parameters()]
+        assert ("WinogradConv2D", "W") in names
+        assert ("Dense", "w") in names
+        assert net.param_count() > 0
+
+    def test_zero_grads_recursive(self):
+        net = small_cnn(width=4, classes=3, seed=0)
+        x = np.random.default_rng(1).standard_normal((2, 3, 8, 8))
+        net.backward(np.ones_like(net.forward(x)))
+        net.zero_grads()
+        for layer, name in net.parameters():
+            assert np.all(layer.grads[name] == 0)
+
+
+class TestFractalJoin:
+    """Paper Fig. 14: the modified (Winograd-domain) join is exact."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_forward_identical(self, seed):
+        a = fractalnet_small("spatial", width=4, classes=3, seed=seed)
+        b = fractalnet_small("winograd", width=4, classes=3, seed=seed)
+        x = np.random.default_rng(seed + 10).standard_normal((2, 3, 8, 8))
+        np.testing.assert_allclose(a.forward(x), b.forward(x), atol=1e-9)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_backward_identical(self, seed):
+        a = fractalnet_small("spatial", width=4, classes=3, seed=seed)
+        b = fractalnet_small("winograd", width=4, classes=3, seed=seed)
+        x = np.random.default_rng(seed + 20).standard_normal((2, 3, 8, 8))
+        dy = np.random.default_rng(seed + 30).standard_normal((2, 3))
+        a.forward(x)
+        b.forward(x)
+        np.testing.assert_allclose(a.backward(dy), b.backward(dy), atol=1e-8)
+
+    def test_weight_gradients_identical(self):
+        a = fractalnet_small("spatial", width=4, classes=3, seed=5)
+        b = fractalnet_small("winograd", width=4, classes=3, seed=5)
+        x = np.random.default_rng(42).standard_normal((2, 3, 8, 8))
+        dy = np.random.default_rng(43).standard_normal((2, 3))
+        for net in (a, b):
+            net.zero_grads()
+            net.forward(x)
+            net.backward(dy)
+        grads_a = [layer.grads[n] for layer, n in a.parameters()]
+        grads_b = [layer.grads[n] for layer, n in b.parameters()]
+        assert len(grads_a) == len(grads_b)
+        for ga, gb in zip(grads_a, grads_b):
+            np.testing.assert_allclose(ga, gb, atol=1e-8)
+
+    def test_invalid_join_mode_rejected(self):
+        with pytest.raises(ValueError):
+            fractalnet_small("fourier")
+
+    def test_relu_applied_after_join(self):
+        """The modification (Fig. 14a) moves ReLU after the join; outputs
+        of the join block must be non-negative pre-pool."""
+        net = fractalnet_small("winograd", width=4, classes=3, seed=0)
+        x = np.random.default_rng(3).standard_normal((2, 3, 8, 8))
+        joined = net.layers[0].forward(x)
+        assert np.all(joined >= 0)

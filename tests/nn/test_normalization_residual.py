@@ -1,0 +1,142 @@
+"""Tests for batch normalisation, residual blocks and the small WRN."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    BatchNorm2d,
+    Residual,
+    Sequential,
+    WinogradConv2D,
+    softmax_cross_entropy,
+    train,
+    train_val_datasets,
+    wrn_small,
+)
+from repro.winograd import make_transform
+
+
+class TestBatchNorm:
+    def test_normalises_batch(self):
+        rng = np.random.default_rng(0)
+        bn = BatchNorm2d(3)
+        x = rng.standard_normal((8, 3, 4, 4)) * 5 + 2
+        y = bn.forward(x)
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-7)
+        assert np.allclose(y.std(axis=(0, 2, 3)), 1.0, atol=1e-3)
+
+    def test_wrong_rank_rejected(self):
+        with pytest.raises(ValueError):
+            BatchNorm2d(3).forward(np.zeros((2, 3)))
+
+    def test_eval_mode_uses_running_stats(self):
+        rng = np.random.default_rng(1)
+        bn = BatchNorm2d(2, momentum=0.0)  # running stats = last batch
+        x = rng.standard_normal((16, 2, 4, 4)) * 3 + 1
+        bn.forward(x)
+        bn.eval_mode()
+        y = bn.forward(x)
+        assert np.allclose(y.mean(axis=(0, 2, 3)), 0.0, atol=1e-2)
+
+    def test_input_gradient_numeric(self):
+        rng = np.random.default_rng(2)
+        bn = BatchNorm2d(2)
+        x = rng.standard_normal((4, 2, 3, 3))
+        dy = rng.standard_normal(x.shape)
+        bn.forward(x)
+        dx = bn.backward(dy)
+        eps = 1e-6
+        for idx in [(0, 0, 1, 1), (3, 1, 2, 0)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (np.sum(bn.forward(xp) * dy) - np.sum(bn.forward(xm) * dy)) / (
+                2 * eps
+            )
+            assert abs(dx[idx] - num) < 1e-5
+
+    def test_param_gradients_numeric(self):
+        rng = np.random.default_rng(3)
+        bn = BatchNorm2d(2)
+        x = rng.standard_normal((4, 2, 3, 3))
+        dy = rng.standard_normal(x.shape)
+        bn.forward(x)
+        bn.backward(dy)
+        eps = 1e-6
+        for name in ("gamma", "beta"):
+            p = bn.params[name]
+            p[0] += eps
+            up = np.sum(bn.forward(x) * dy)
+            p[0] -= 2 * eps
+            down = np.sum(bn.forward(x) * dy)
+            p[0] += eps
+            num = (up - down) / (2 * eps)
+            assert abs(bn.grads[name][0] - num) < 1e-5
+
+
+class TestResidual:
+    def test_identity_skip(self):
+        tr = make_transform(2, 3)
+        rng = np.random.default_rng(4)
+        body = Sequential([WinogradConv2D(3, 3, tr, rng=rng)])
+        block = Residual(body)
+        x = rng.standard_normal((2, 3, 6, 6))
+        y = block.forward(x)
+        np.testing.assert_allclose(y, x + body.forward(x), atol=1e-12)
+
+    def test_gradient_sums_paths(self):
+        tr = make_transform(2, 3)
+        rng = np.random.default_rng(5)
+        block = Residual(Sequential([WinogradConv2D(2, 2, tr, rng=rng)]))
+        x = rng.standard_normal((1, 2, 6, 6))
+        dy = rng.standard_normal((1, 2, 6, 6))
+        block.forward(x)
+        dx = block.backward(dy)
+        eps = 1e-6
+        idx = (0, 1, 2, 3)
+        xp, xm = x.copy(), x.copy()
+        xp[idx] += eps
+        xm[idx] -= eps
+        num = (np.sum(block.forward(xp) * dy) - np.sum(block.forward(xm) * dy)) / (
+            2 * eps
+        )
+        assert abs(dx[idx] - num) < 1e-5
+
+    def test_parameters_enumerated(self):
+        tr = make_transform(2, 3)
+        block = Residual(Sequential([WinogradConv2D(2, 2, tr)]))
+        assert len(list(block.parameters())) == 1
+
+
+class TestWrnSmall:
+    def test_forward_shapes(self):
+        net = wrn_small(width=4, classes=3)
+        y = net.forward(np.random.default_rng(0).standard_normal((2, 3, 8, 8)))
+        assert y.shape == (2, 3)
+
+    def test_gradcheck_through_whole_net(self):
+        net = wrn_small(width=4, classes=3, seed=1)
+        rng = np.random.default_rng(6)
+        x = rng.standard_normal((4, 3, 8, 8))
+        labels = np.array([0, 1, 2, 0])
+        net.zero_grads()
+        loss, dlogits = softmax_cross_entropy(net.forward(x), labels)
+        net.backward(dlogits)
+        layer, name = next(iter(net.parameters()))
+        idx = (0, 0, 1, 1)
+        eps = 1e-5
+        w0 = layer.params[name][idx]
+        layer.params[name][idx] = w0 + eps
+        up, _ = softmax_cross_entropy(net.forward(x), labels)
+        layer.params[name][idx] = w0 - eps
+        down, _ = softmax_cross_entropy(net.forward(x), labels)
+        layer.params[name][idx] = w0
+        num = (up - down) / (2 * eps)
+        assert abs(layer.grads[name][idx] - num) < 1e-4 * max(1.0, abs(num))
+
+    def test_trains(self):
+        train_data, val_data = train_val_datasets(192, 64, classes=4, size=8, seed=0)
+        net = wrn_small(width=6, classes=4, seed=0)
+        curve = train(net, train_data, val_data, epochs=3, batch_size=32, lr=0.05)
+        assert curve.losses[-1] < curve.losses[0]
+        assert curve.val_accuracies[-1] > 0.3

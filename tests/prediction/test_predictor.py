@@ -1,0 +1,159 @@
+"""Tests for activation prediction (paper Section V-A)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    NonUniformQuantizer,
+    QuantizerConfig,
+    gather_traffic_reduction,
+    make_tile_sample,
+    predict_1d,
+    predict_2d,
+)
+from repro.winograd import make_transform
+
+
+def quantizer_for(tiles, levels=64, regions=4):
+    return NonUniformQuantizer(
+        QuantizerConfig(levels=levels, regions=regions), float(tiles.std())
+    )
+
+
+class TestNoFalseNegatives:
+    """The paper's central safety claim: no activated neuron is ever
+    predicted dead, so training accuracy is untouched."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        regions=st.sampled_from([1, 2, 4]),
+        levels=st.sampled_from([16, 32, 64]),
+        shift=st.floats(min_value=-1.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_2d_property(self, seed, regions, levels, shift):
+        transform = make_transform(2, 3)
+        rng = np.random.default_rng(seed)
+        tiles = rng.normal(shift, 1.0, (30, 4, 4))
+        quantizer = NonUniformQuantizer(
+            QuantizerConfig(levels=levels, regions=regions), 1.0
+        )
+        result = predict_2d(tiles, transform, quantizer)
+        assert result.false_negatives == 0
+
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        regions=st.sampled_from([1, 2, 4]),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_1d_property(self, seed, regions):
+        transform = make_transform(2, 3)
+        rng = np.random.default_rng(seed)
+        tiles = rng.normal(-0.2, 1.0, (30, 4, 4))
+        quantizer = NonUniformQuantizer(QuantizerConfig(levels=32, regions=regions), 1.0)
+        result = predict_1d(tiles, transform, quantizer)
+        assert result.false_negatives == 0
+
+    def test_realistic_sample_no_false_negatives(self):
+        sample = make_tile_sample(batch=4, size=16, seed=3)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        for fn, levels in ((predict_2d, 64), (predict_1d, 32)):
+            result = fn(tiles, transform, quantizer_for(tiles, levels))
+            assert result.false_negatives == 0
+
+
+class TestPredictionQuality:
+    def test_prediction_below_actual(self):
+        """Conservative prediction can never exceed the true dead ratio."""
+        sample = make_tile_sample(batch=4, size=16, seed=0)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        result = predict_2d(tiles, transform, quantizer_for(tiles))
+        assert result.predicted_ratio <= result.actual_ratio
+
+    def test_more_levels_improve_prediction(self):
+        sample = make_tile_sample(batch=4, size=16, seed=1)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        coarse = predict_2d(tiles, transform, quantizer_for(tiles, levels=16))
+        fine = predict_2d(tiles, transform, quantizer_for(tiles, levels=64))
+        assert fine.predicted_ratio >= coarse.predicted_ratio
+
+    def test_four_regions_beat_one(self):
+        """Fig. 12: non-uniform quantisation with 4 regions predicts best."""
+        sample = make_tile_sample(batch=8, size=16, seed=2)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        uniform = predict_2d(tiles, transform, quantizer_for(tiles, regions=1))
+        nonuniform = predict_2d(tiles, transform, quantizer_for(tiles, regions=4))
+        assert nonuniform.predicted_ratio > uniform.predicted_ratio
+
+    def test_1d_predicts_better_than_2d(self):
+        """Fig. 12: 1D predict accumulates less quantisation error."""
+        sample = make_tile_sample(batch=8, size=16, seed=4)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        r2 = predict_2d(tiles, transform, quantizer_for(tiles, levels=64))
+        r1 = predict_1d(tiles, transform, quantizer_for(tiles, levels=32))
+        # Compare each against its own upper limit.
+        assert (r1.predicted_ratio / max(r1.actual_ratio, 1e-9)) > (
+            r2.predicted_ratio / max(r2.actual_ratio, 1e-9)
+        )
+
+    def test_all_negative_tiles_all_predicted_dead(self):
+        """Strongly negative tiles must be caught even with coarse
+        quantisation."""
+        transform = make_transform(2, 3)
+        # Winograd-domain representation of a very negative output.
+        a_pinv = np.linalg.pinv(transform.A.T)
+        strongly_dead = a_pinv @ np.full((2, 2), -100.0) @ a_pinv.T
+        tiles = np.tile(strongly_dead, (20, 1, 1))
+        # sigma chosen so the quantiser range covers the values
+        # (overflow would conservatively disable the prediction).
+        quantizer = NonUniformQuantizer(QuantizerConfig(levels=64, regions=4), 20.0)
+        result = predict_2d(tiles, transform, quantizer)
+        assert result.actual_ratio == 1.0
+        assert result.predicted_ratio == 1.0
+
+
+class TestTrafficReduction:
+    def test_2d_reduction_formula(self):
+        sample = make_tile_sample(batch=4, size=16, seed=5)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        quantizer = quantizer_for(tiles, levels=64)
+        result = predict_2d(tiles, transform, quantizer)
+        reduction = gather_traffic_reduction(result, quantizer, "2d")
+        expected = 1.0 - (6 / 32 + (1 - result.predicted_ratio))
+        assert reduction == pytest.approx(expected)
+
+    def test_1d_includes_volume_factor(self):
+        sample = make_tile_sample(batch=4, size=16, seed=6)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        quantizer = quantizer_for(tiles, levels=32)
+        result = predict_1d(tiles, transform, quantizer)
+        reduction = gather_traffic_reduction(result, quantizer, "1d", transform)
+        expected = 1.0 - 0.5 * (5 / 32 + (1 - result.predicted_ratio))
+        assert reduction == pytest.approx(expected)
+
+    def test_1d_requires_transform(self):
+        sample = make_tile_sample(batch=2, size=16, seed=7)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        quantizer = quantizer_for(tiles, levels=32)
+        result = predict_1d(tiles, transform, quantizer)
+        with pytest.raises(ValueError):
+            gather_traffic_reduction(result, quantizer, "1d")
+
+    def test_unknown_mode_rejected(self):
+        sample = make_tile_sample(batch=2, size=16, seed=8)
+        tiles = sample.output_tiles_wd
+        transform = make_transform(2, 3)
+        quantizer = quantizer_for(tiles)
+        result = predict_2d(tiles, transform, quantizer)
+        with pytest.raises(ValueError):
+            gather_traffic_reduction(result, quantizer, "3d")

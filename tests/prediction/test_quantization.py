@@ -1,0 +1,151 @@
+"""Tests for the non-uniform quantiser (paper Fig. 10)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.prediction import (
+    NonUniformQuantizer,
+    QuantizerConfig,
+    interval_matmul_right,
+)
+
+
+class TestConfig:
+    def test_bits(self):
+        assert QuantizerConfig(levels=64, regions=4).bits == 6
+        assert QuantizerConfig(levels=32, regions=4).bits == 5
+
+    def test_odd_levels_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizerConfig(levels=33, regions=4)
+
+    def test_too_many_regions_rejected(self):
+        with pytest.raises(ValueError):
+            QuantizerConfig(levels=8, regions=8)
+
+    def test_steps_per_region(self):
+        assert QuantizerConfig(levels=64, regions=4).steps_per_region == 8
+
+
+class TestQuantize:
+    def _quantizer(self, regions=4, levels=64):
+        return NonUniformQuantizer(QuantizerConfig(levels=levels, regions=regions), 1.0)
+
+    def test_invalid_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NonUniformQuantizer(QuantizerConfig(), 0.0)
+
+    def test_zero_maps_to_zero(self):
+        q = self._quantizer().quantize(np.array([0.0]))
+        assert q.value[0] == 0.0
+        assert q.err_lo[0] == 0.0
+        assert q.err_hi[0] > 0.0
+
+    def test_step_size_doubles_per_region(self):
+        quantizer = self._quantizer()
+        bounds = quantizer.region_bounds
+        mids = (bounds[:-1] + bounds[1:]) / 2
+        steps = quantizer.step_size(mids)
+        for k in range(1, len(steps)):
+            assert steps[k] == pytest.approx(2 * steps[k - 1])
+
+    def test_range_covers_4_sigma(self):
+        quantizer = self._quantizer()
+        assert quantizer.max_value == pytest.approx(4.0)
+
+    @given(
+        values=st.lists(
+            st.floats(min_value=-20, max_value=20, allow_nan=False), min_size=1,
+            max_size=50,
+        ),
+        regions=st.sampled_from([1, 2, 4]),
+        levels=st.sampled_from([16, 32, 64]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_bounds_contain_true_value(self, values, regions, levels):
+        """The quantised interval [q+lo, q+hi] always contains the real
+        value — the invariant conservative prediction rests on."""
+        quantizer = NonUniformQuantizer(
+            QuantizerConfig(levels=levels, regions=regions), 1.0
+        )
+        arr = np.array(values)
+        q = quantizer.quantize(arr)
+        assert np.all(q.value + q.err_lo <= arr + 1e-12)
+        assert np.all(arr <= q.value + q.err_hi + 1e-12)
+
+    def test_overflow_flagged_with_infinite_bound(self):
+        quantizer = self._quantizer()
+        q = quantizer.quantize(np.array([100.0, -100.0]))
+        assert q.overflow.all()
+        assert q.err_hi[0] == np.inf
+        assert q.err_lo[1] == -np.inf
+
+    def test_truncation_toward_zero(self):
+        quantizer = self._quantizer()
+        values = np.array([0.37, -0.37])
+        q = quantizer.quantize(values)
+        assert abs(q.value[0]) <= abs(values[0])
+        assert abs(q.value[1]) <= abs(values[1])
+        assert q.value[1] == -q.value[0]
+
+
+class TestEncodeDecode:
+    def _quantizer(self):
+        return NonUniformQuantizer(QuantizerConfig(levels=64, regions=4), 2.0)
+
+    def test_round_trip_consistent_with_quantize(self):
+        quantizer = self._quantizer()
+        rng = np.random.default_rng(0)
+        values = rng.normal(0, 2.0, 200)
+        direct = quantizer.quantize(values)
+        decoded = quantizer.decode(quantizer.encode(values))
+        np.testing.assert_allclose(decoded.value, direct.value, atol=1e-12)
+        np.testing.assert_array_equal(decoded.overflow, direct.overflow)
+
+    def test_codes_fit_in_bits(self):
+        quantizer = self._quantizer()
+        rng = np.random.default_rng(1)
+        codes = quantizer.encode(rng.normal(0, 2.0, 500))
+        # 6-bit signed payload plus overflow marker: |code| <= 33.
+        assert np.abs(codes).max() <= quantizer.config.levels // 2 + 1
+
+    def test_codes_monotonic_in_value(self):
+        quantizer = self._quantizer()
+        values = np.linspace(-7.9, 7.9, 101)
+        codes = quantizer.encode(values)
+        assert np.all(np.diff(codes) >= 0)
+
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=30, deadline=None)
+    def test_property_decode_bounds_hold(self, seed):
+        quantizer = self._quantizer()
+        rng = np.random.default_rng(seed)
+        values = rng.normal(0, 2.0, 64)
+        decoded = quantizer.decode(quantizer.encode(values))
+        assert np.all(decoded.value + decoded.err_lo <= values + 1e-12)
+        assert np.all(values <= decoded.value + decoded.err_hi + 1e-12)
+
+
+class TestIntervalMatmul:
+    def test_bounds_propagate_through_linear_map(self):
+        """Interval arithmetic through x @ M must bound M^T applied to
+        any point in the input interval."""
+        quantizer = NonUniformQuantizer(QuantizerConfig(levels=32, regions=2), 1.0)
+        rng = np.random.default_rng(2)
+        values = rng.normal(0, 1.0, (10, 4))
+        matrix = rng.standard_normal((4, 3))
+        q = quantizer.quantize(values)
+        out = interval_matmul_right(q, matrix, axis=-1)
+        true_out = values @ matrix
+        assert np.all(out.value + out.err_lo <= true_out + 1e-9)
+        assert np.all(true_out <= out.value + out.err_hi + 1e-9)
+
+    def test_infinite_bounds_stay_infinite(self):
+        quantizer = NonUniformQuantizer(QuantizerConfig(levels=32, regions=2), 1.0)
+        values = np.array([[100.0, 0.1]])  # first overflows
+        q = quantizer.quantize(values)
+        matrix = np.array([[1.0, -1.0], [0.5, 0.5]])
+        out = interval_matmul_right(q, matrix, axis=-1)
+        assert np.isinf(out.err_hi[0, 0]) or np.isinf(out.err_lo[0, 0])

@@ -1,0 +1,134 @@
+"""Tests for 1D Winograd convolution (separable r x 1 kernels)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.winograd import make_transform
+from repro.winograd.conv1d import (
+    TileGrid1D,
+    direct_conv1d,
+    extract_tiles_1d,
+    extract_tiles_1d_adjoint,
+    spatial_to_winograd_1d,
+    winograd_backward_1d,
+    winograd_forward_1d,
+)
+
+
+class TestGrid1D:
+    def test_paper_f23_tile(self):
+        """F(2,3): 4x1 tiles, as Section VII-B states."""
+        grid = TileGrid1D(length=8, pad=1, m=2, r=3)
+        assert grid.tile == 4
+        assert grid.out_length == 8
+        assert grid.num_tiles == 4
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            TileGrid1D(length=1, pad=0, m=2, r=3)
+
+
+class TestTiling1D:
+    def test_extract_values(self):
+        x = np.arange(6, dtype=float).reshape(1, 1, 1, 6)
+        grid = TileGrid1D(length=6, pad=0, m=2, r=3)
+        tiles = extract_tiles_1d(x, grid, axis=-1)
+        np.testing.assert_array_equal(tiles[0, 0, 0, 0], [0, 1, 2, 3])
+        np.testing.assert_array_equal(tiles[0, 0, 0, 1], [2, 3, 4, 5])
+
+    def test_adjoint_property(self):
+        grid = TileGrid1D(length=9, pad=1, m=2, r=3)
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 4, 9))
+        t = rng.standard_normal((2, 3, 4, grid.num_tiles, grid.tile))
+        lhs = np.sum(extract_tiles_1d(x, grid) * t)
+        rhs = np.sum(x * extract_tiles_1d_adjoint(t, grid))
+        assert abs(lhs - rhs) < 1e-9
+
+
+class TestForward1D:
+    @pytest.mark.parametrize("axis", [-1, -2])
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_matches_direct(self, axis, pad):
+        transform = make_transform(2, 3)
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((2, 3, 7, 9))
+        w = rng.standard_normal((4, 3, 3))
+        weights_wd = spatial_to_winograd_1d(w, transform)
+        got, _ = winograd_forward_1d(x, weights_wd, transform, pad, axis)
+        expected = direct_conv1d(x, w, pad, axis)
+        np.testing.assert_allclose(got, expected, atol=1e-9)
+
+    def test_wrong_weight_shape_rejected(self):
+        transform = make_transform(2, 3)
+        with pytest.raises(ValueError):
+            winograd_forward_1d(
+                np.zeros((1, 1, 4, 4)), np.zeros((1, 1, 3)), transform, 1, -1
+            )
+
+    @given(
+        length=st.integers(min_value=4, max_value=12),
+        seed=st.integers(min_value=0, max_value=5000),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_property_matches_direct(self, length, seed):
+        transform = make_transform(2, 3)
+        rng = np.random.default_rng(seed)
+        x = rng.standard_normal((1, 2, 3, length))
+        w = rng.standard_normal((2, 2, 3))
+        got, _ = winograd_forward_1d(
+            x, spatial_to_winograd_1d(w, transform), transform, 1, -1
+        )
+        np.testing.assert_allclose(got, direct_conv1d(x, w, 1, -1), atol=1e-9)
+
+
+class TestBackward1D:
+    def test_gradients_numeric(self):
+        transform = make_transform(2, 3)
+        rng = np.random.default_rng(2)
+        x = rng.standard_normal((1, 2, 3, 8))
+        weights_wd = spatial_to_winograd_1d(rng.standard_normal((2, 2, 3)), transform)
+        y, cache = winograd_forward_1d(x, weights_wd, transform, 1, -1)
+        dy = rng.standard_normal(y.shape)
+        dx, dw = winograd_backward_1d(dy, weights_wd, transform, cache)
+        eps = 1e-6
+        for idx in [(0, 0, 1, 3), (0, 1, 2, 7)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            yp, _ = winograd_forward_1d(xp, weights_wd, transform, 1, -1)
+            ym, _ = winograd_forward_1d(xm, weights_wd, transform, 1, -1)
+            num = (np.sum(yp * dy) - np.sum(ym * dy)) / (2 * eps)
+            assert abs(dx[idx] - num) < 1e-5
+        for idx in [(0, 0, 1), (1, 1, 3)]:
+            wp, wm = weights_wd.copy(), weights_wd.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            yp, _ = winograd_forward_1d(x, wp, transform, 1, -1)
+            ym, _ = winograd_forward_1d(x, wm, transform, 1, -1)
+            num = (np.sum(yp * dy) - np.sum(ym * dy)) / (2 * eps)
+            assert abs(dw[idx] - num) < 1e-5
+
+    def test_separable_pair_equals_2d_conv(self):
+        """A 3x1 then 1x3 Winograd pair equals the direct 2D convolution
+        with the outer-product kernel (the factorised-CNN use case)."""
+        from repro.winograd import conv2d_forward
+
+        transform = make_transform(2, 3)
+        rng = np.random.default_rng(3)
+        x = rng.standard_normal((1, 1, 8, 8))
+        col = rng.standard_normal(3)
+        row = rng.standard_normal(3)
+        w_col = col.reshape(1, 1, 3)
+        w_row = row.reshape(1, 1, 3)
+        mid, _ = winograd_forward_1d(
+            x, spatial_to_winograd_1d(w_col, transform), transform, 1, -2
+        )
+        got, _ = winograd_forward_1d(
+            mid, spatial_to_winograd_1d(w_row, transform), transform, 1, -1
+        )
+        w2d = np.einsum("a,b->ab", col, row).reshape(1, 1, 3, 3)
+        expected = conv2d_forward(x, w2d, 1)
+        np.testing.assert_allclose(got, expected, atol=1e-9)

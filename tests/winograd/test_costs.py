@@ -1,0 +1,84 @@
+"""Tests for the compute/memory cost accounting (Fig. 1)."""
+
+import pytest
+
+from repro.winograd import make_transform
+from repro.winograd.costs import (
+    access_increase,
+    compute_reduction,
+    direct_costs,
+    winograd_costs,
+)
+from repro.workloads import five_layers
+
+
+@pytest.fixture
+def layer():
+    return five_layers()[1]  # Mid-1
+
+
+class TestDirectCosts:
+    def test_macs_formula(self, layer):
+        cost = direct_costs(layer, batch=2)
+        expected_per_phase = (
+            2 * layer.out_channels * layer.in_channels
+            * layer.out_height * layer.out_width * 9
+        )
+        assert cost.phases["fprop"].macs == expected_per_phase
+        assert cost.total_macs == 3 * expected_per_phase
+
+    def test_three_phases(self, layer):
+        assert set(direct_costs(layer, 1).phases) == {"fprop", "bprop", "update"}
+
+
+class TestWinogradCosts:
+    def test_dot_product_macs(self, layer):
+        tr = make_transform(4, 3)
+        cost = winograd_costs(layer, 2, tr)
+        tiles = 2 * layer.tiles_per_image(4)
+        expected = 36 * tiles * layer.in_channels * layer.out_channels
+        assert cost.phases["fprop"].macs == expected
+
+    def test_spatial_weight_mode_adds_lift_traffic(self, layer):
+        tr = make_transform(4, 3)
+        wino_layer = winograd_costs(layer, 2, tr, winograd_domain_weights=True)
+        spatial = winograd_costs(layer, 2, tr, winograd_domain_weights=False)
+        assert spatial.total_dram_bytes > wino_layer.total_dram_bytes
+        assert spatial.total_transform_flops > wino_layer.total_transform_flops
+
+
+class TestFig1Ratios:
+    """Paper Fig. 1: ~2.8x less compute, ~4.4x more data access."""
+
+    def test_f43_compute_reduction_near_4x(self, layer):
+        reduction = compute_reduction(layer, 256, make_transform(4, 3))
+        assert 2.5 < reduction <= 4.0
+
+    def test_f23_compute_reduction_is_2_25(self, layer):
+        reduction = compute_reduction(layer, 256, make_transform(2, 3))
+        assert reduction == pytest.approx(2.25, rel=0.01)
+
+    def test_access_increase_in_paper_range(self):
+        tr = make_transform(4, 3)
+        for layer in five_layers():
+            increase = access_increase(layer, 256, tr)
+            assert 3.0 < increase < 7.0
+
+    def test_average_matches_paper_band(self):
+        tr = make_transform(4, 3)
+        layers = five_layers()
+        avg_access = sum(access_increase(l, 256, tr) for l in layers) / len(layers)
+        # Paper: 4.4x average increase.
+        assert 3.5 < avg_access < 5.5
+
+    def test_winograd_always_more_access(self):
+        for m in (2, 4):
+            tr = make_transform(m, 3)
+            for layer in five_layers():
+                assert access_increase(layer, 256, tr) > 1.0
+
+    def test_winograd_always_less_compute(self):
+        for m in (2, 4):
+            tr = make_transform(m, 3)
+            for layer in five_layers():
+                assert compute_reduction(layer, 256, tr) > 1.0

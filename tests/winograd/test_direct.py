@@ -1,0 +1,109 @@
+"""Tests for the direct-convolution reference against scipy."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.winograd import (
+    conv2d_backward_input,
+    conv2d_backward_weight,
+    conv2d_forward,
+    relu,
+    relu_grad,
+)
+
+
+def scipy_forward(x, w, pad):
+    batch, in_ch, _, _ = x.shape
+    out_ch = w.shape[0]
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    outs = []
+    for b in range(batch):
+        chans = []
+        for j in range(out_ch):
+            acc = None
+            for i in range(in_ch):
+                c = signal.correlate2d(xp[b, i], w[j, i], mode="valid")
+                acc = c if acc is None else acc + c
+            chans.append(acc)
+        outs.append(np.stack(chans))
+    return np.stack(outs)
+
+
+class TestForward:
+    @pytest.mark.parametrize("pad", [0, 1, 2])
+    def test_matches_scipy(self, pad):
+        rng = np.random.default_rng(0)
+        x = rng.standard_normal((2, 3, 9, 8))
+        w = rng.standard_normal((4, 3, 3, 3))
+        np.testing.assert_allclose(
+            conv2d_forward(x, w, pad), scipy_forward(x, w, pad), atol=1e-10
+        )
+
+    def test_5x5_kernel(self):
+        rng = np.random.default_rng(1)
+        x = rng.standard_normal((1, 2, 10, 10))
+        w = rng.standard_normal((3, 2, 5, 5))
+        np.testing.assert_allclose(
+            conv2d_forward(x, w, 2), scipy_forward(x, w, 2), atol=1e-10
+        )
+
+    def test_channel_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            conv2d_forward(np.zeros((1, 3, 8, 8)), np.zeros((2, 4, 3, 3)), 1)
+
+    def test_output_shape(self):
+        y = conv2d_forward(np.zeros((2, 3, 8, 8)), np.zeros((5, 3, 3, 3)), 1)
+        assert y.shape == (2, 5, 8, 8)
+
+
+class TestGradients:
+    """Backward functions must match numeric differentiation."""
+
+    def _setup(self, pad=1):
+        rng = np.random.default_rng(42)
+        x = rng.standard_normal((2, 2, 6, 6))
+        w = rng.standard_normal((3, 2, 3, 3))
+        dy = rng.standard_normal(conv2d_forward(x, w, pad).shape)
+        return x, w, dy
+
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_input_gradient_numeric(self, pad):
+        x, w, dy = self._setup(pad)
+        dx = conv2d_backward_input(dy, w, pad, x.shape[2:])
+        eps = 1e-6
+        for idx in [(0, 0, 2, 3), (1, 1, 0, 0), (0, 1, 5, 5)]:
+            xp, xm = x.copy(), x.copy()
+            xp[idx] += eps
+            xm[idx] -= eps
+            num = (
+                np.sum(conv2d_forward(xp, w, pad) * dy)
+                - np.sum(conv2d_forward(xm, w, pad) * dy)
+            ) / (2 * eps)
+            assert abs(dx[idx] - num) < 1e-5
+
+    @pytest.mark.parametrize("pad", [0, 1])
+    def test_weight_gradient_numeric(self, pad):
+        x, w, dy = self._setup(pad)
+        dw = conv2d_backward_weight(x, dy, pad)
+        assert dw.shape == w.shape
+        eps = 1e-6
+        for idx in [(0, 0, 1, 1), (2, 1, 0, 2)]:
+            wp, wm = w.copy(), w.copy()
+            wp[idx] += eps
+            wm[idx] -= eps
+            num = (
+                np.sum(conv2d_forward(x, wp, pad) * dy)
+                - np.sum(conv2d_forward(x, wm, pad) * dy)
+            ) / (2 * eps)
+            assert abs(dw[idx] - num) < 1e-5
+
+
+class TestRelu:
+    def test_forward(self):
+        np.testing.assert_array_equal(relu(np.array([-1.0, 0.0, 2.0])), [0.0, 0.0, 2.0])
+
+    def test_grad_masks_negatives(self):
+        pre = np.array([-1.0, 0.5, 0.0])
+        dy = np.array([3.0, 3.0, 3.0])
+        np.testing.assert_array_equal(relu_grad(pre, dy), [0.0, 3.0, 0.0])

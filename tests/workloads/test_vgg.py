@@ -1,0 +1,34 @@
+"""Tests for the VGG-16 extension workload."""
+
+import pytest
+
+from repro.workloads import five_layers, vgg16
+
+
+class TestVgg16:
+    def test_thirteen_convs(self):
+        assert len(vgg16().conv_layers) == 13
+
+    def test_param_count(self):
+        # VGG-16 conv parameters: ~14.7M.
+        assert vgg16().param_count / 1e6 == pytest.approx(14.7, rel=0.02)
+
+    def test_contains_table2_shapes(self):
+        """The Table II layers are VGG-16 layers (module docstring of
+        workloads.layers): every Table II (channels, size) pair except
+        the synthetic 7x7 late layer appears in VGG-16."""
+        vgg_shapes = {
+            (l.in_channels, l.out_channels, l.height) for l in vgg16().conv_layers
+        }
+        for layer in five_layers():
+            if layer.height >= 14:
+                assert (
+                    layer.in_channels, layer.out_channels, layer.height
+                ) in vgg_shapes
+
+    def test_first_layer_takes_rgb(self):
+        assert vgg16().conv_layers[0].in_channels == 3
+
+    def test_spatial_ladder_monotone(self):
+        sizes = [l.height for l in vgg16().conv_layers]
+        assert sizes == sorted(sizes, reverse=True)

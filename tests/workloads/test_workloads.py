@@ -1,0 +1,106 @@
+"""Tests for layer/network shape specifications (Tables I & II)."""
+
+import pytest
+
+from repro.workloads import (
+    ConvLayerSpec,
+    conv_count,
+    five_layers,
+    fractal_block,
+    fractalnet_4_4,
+    resnet34,
+    table1_networks,
+    wide_resnet_40_10,
+)
+
+
+class TestConvLayerSpec:
+    def test_output_size_same_padding(self):
+        layer = ConvLayerSpec("l", 3, 8, 32, 32, kernel=3, pad=1)
+        assert (layer.out_height, layer.out_width) == (32, 32)
+
+    def test_weight_count(self):
+        layer = ConvLayerSpec("l", 4, 8, 16, 16)
+        assert layer.weight_count == 4 * 8 * 9
+        assert layer.winograd_weight_count(4) == 4 * 8 * 16
+
+    def test_tiles_per_image(self):
+        layer = ConvLayerSpec("l", 1, 1, 14, 14)
+        assert layer.tiles_per_image(2) == 49
+        assert layer.tiles_per_image(4) == 16
+
+    def test_direct_macs(self):
+        layer = ConvLayerSpec("l", 2, 3, 8, 8)
+        assert layer.direct_macs(4) == 4 * 3 * 2 * 8 * 8 * 9
+
+    def test_with_kernel_preserves_output(self):
+        layer = five_layers()[0].with_kernel(5)
+        assert layer.kernel == 5
+        assert layer.out_height == five_layers()[0].out_height
+
+    def test_with_kernel_rejects_even(self):
+        with pytest.raises(ValueError):
+            five_layers()[0].with_kernel(4)
+
+
+class TestTable2:
+    def test_five_layers(self):
+        layers = five_layers()
+        assert len(layers) == 5
+        assert [l.name for l in layers] == ["Early", "Mid-1", "Mid-2", "Late-1", "Late-2"]
+
+    def test_early_large_map_small_weights(self):
+        layers = five_layers()
+        early, late = layers[0], layers[-1]
+        assert early.height > 10 * late.height
+        assert late.weight_count > 10 * early.weight_count
+
+
+class TestTable1:
+    def test_wrn_params_match_paper(self):
+        """Paper Table I: WRN-40-10 = 55.6M parameters."""
+        assert wide_resnet_40_10().param_count / 1e6 == pytest.approx(55.6, rel=0.02)
+
+    def test_fractalnet_params_match_paper(self):
+        """Paper Table I: FractalNet 4x4 = 164M parameters."""
+        assert fractalnet_4_4().param_count / 1e6 == pytest.approx(164, rel=0.03)
+
+    def test_resnet34_params_plausible(self):
+        assert 18 < resnet34().param_count / 1e6 < 23
+
+    def test_three_networks(self):
+        assert [n.name for n in table1_networks()] == [
+            "WRN-40-10", "ResNet-34", "FractalNet",
+        ]
+
+    def test_resnet_stem_is_7x7(self):
+        assert resnet34().conv_layers[0].kernel == 7
+
+
+class TestFractal:
+    def test_conv_count_recurrence(self):
+        assert [conv_count(c) for c in (1, 2, 3, 4)] == [1, 3, 7, 15]
+
+    def test_block_conv_count(self):
+        block = fractal_block("b", 4, 64, 128, 28, 28)
+        assert len(block.convs) == 15
+
+    def test_joins_have_correct_arity(self):
+        block = fractal_block("b", 3, 16, 32, 8, 8)
+        # Deepest column has 4 convs; joins at steps 2 (2 cols) and 4 (3).
+        arities = [j.arity for j in block.joins]
+        assert arities == [2, 3]
+
+    def test_first_conv_of_each_column_sees_input_channels(self):
+        block = fractal_block("b", 3, 16, 32, 8, 8)
+        firsts = [c for c in block.convs if c.in_channels == 16]
+        assert len(firsts) == 3  # one per column
+
+    def test_invalid_columns_rejected(self):
+        with pytest.raises(ValueError):
+            fractal_block("b", 0, 1, 1, 8, 8)
+
+    def test_fractalnet_blocks_recorded(self):
+        net = fractalnet_4_4()
+        assert len(net.fractal_blocks) == 4
+        assert all(len(b.convs) == 15 for b in net.fractal_blocks)
