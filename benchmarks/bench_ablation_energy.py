@@ -55,7 +55,7 @@ def test_ablation_energy(benchmark):
         rows,
         note="the paper's orderings must survive 2x constant swings",
     )
-    for label in {r["constants"] for r in rows}:
+    for label in sorted({r["constants"] for r in rows}):
         sub = {r["config"]: r for r in rows if r["constants"] == label}
         # Winograd DP always pays more DRAM energy than direct DP...
         assert sub["w_dp"]["dram_mJ"] > sub["d_dp"]["dram_mJ"]

@@ -11,7 +11,7 @@ from dataclasses import replace
 
 from conftest import print_figure
 
-from repro.core import GridConfig, MachineConfig, PerfModel, w_mp_plus
+from repro.core import GridConfig, PerfModel, w_mp_plus
 from repro.params import DEFAULT_PARAMS
 from repro.workloads import five_layers
 

@@ -20,7 +20,7 @@ def test_fig17(benchmark):
         rows,
         note="paper: 256-NDP w_dp 71x, w_mp++ 191x, 8-GPU beaten 21.6x",
     )
-    for network in {r["network"] for r in rows}:
+    for network in sorted({r["network"] for r in rows}):
         net_rows = {r["system"]: r for r in rows if r["network"] == network}
         dp256 = net_rows["256-NDP w_dp"]["speedup_vs_1ndp"]
         mpp256 = net_rows["256-NDP w_mp++"]["speedup_vs_1ndp"]
@@ -30,7 +30,7 @@ def test_fig17(benchmark):
         assert gpu8 / gpu1 < 7.0  # sub-linear GPU scaling
         assert net_rows["256-NDP w_mp++"]["images_per_s"] > 3.0 * gpu8
     ratios = []
-    for network in {r["network"] for r in rows}:
+    for network in sorted({r["network"] for r in rows}):
         net_rows = {r["system"]: r for r in rows if r["network"] == network}
         ratios.append(
             net_rows["256-NDP w_mp++"]["images_per_s"] / net_rows["8-GPU"]["images_per_s"]

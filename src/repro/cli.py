@@ -127,6 +127,16 @@ def cmd_figure(args: argparse.Namespace) -> None:
               "(paper: 2.74x)")
 
 
+def cmd_statcheck(args: argparse.Namespace) -> None:
+    """Run the repo's static-analysis suite (units/determinism/config)."""
+    from .statcheck.cli import main as statcheck_main
+
+    argv: List[str] = list(args.paths)
+    if args.json:
+        argv.append("--json")
+    sys.exit(statcheck_main(argv))
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     """Regenerate every figure/table into one markdown report."""
     from .analysis.report import generate_report
@@ -164,6 +174,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_tl.add_argument("--workers", type=int, default=256)
     p_tl.add_argument("--batch", type=int, default=256)
     p_tl.set_defaults(func=cmd_timeline)
+
+    p_chk = sub.add_parser(
+        "statcheck", help="run the unit/determinism/config static analysis"
+    )
+    p_chk.add_argument("paths", nargs="*",
+                       help="files or directories (default: the repro package)")
+    p_chk.add_argument("--json", action="store_true",
+                       help="emit a machine-readable JSON report")
+    p_chk.set_defaults(func=cmd_statcheck)
 
     p_rep = sub.add_parser("report", help="write the full markdown report")
     p_rep.add_argument("-o", "--output", default="report.md")

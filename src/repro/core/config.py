@@ -20,9 +20,15 @@ tile transfer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from ..params import DEFAULT_PARAMS, HardwareParams
+
+
+#: The paper's three dynamic-clustering settings for p = 256 and a 4x4
+#: tile (Section VII-A); every pair multiplies out to the same worker
+#: count, which the statcheck CFG002 rule enforces on literal grids.
+PAPER_GRIDS: Tuple[Tuple[int, int], ...] = ((16, 16), (4, 64), (1, 256))
 
 
 @dataclass(frozen=True)
@@ -79,6 +85,10 @@ class SystemConfig:
             raise ValueError(f"unknown conv mode {self.conv!r}")
         if self.update_domain not in ("spatial", "winograd"):
             raise ValueError(f"unknown update domain {self.update_domain!r}")
+        if self.collective_rings < 1:
+            raise ValueError(
+                f"collective_rings must be >= 1, got {self.collective_rings}"
+            )
 
 
 def d_dp() -> SystemConfig:
@@ -147,3 +157,14 @@ class MachineConfig:
     workers: int = 256
     batch: int = 256
     params: HardwareParams = field(default_factory=lambda: DEFAULT_PARAMS)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.batch < 1:
+            raise ValueError(f"batch must be >= 1, got {self.batch}")
+        if self.batch % self.workers and self.workers % self.batch:
+            raise ValueError(
+                f"batch {self.batch} and workers {self.workers} must divide "
+                "one another for an even shard"
+            )

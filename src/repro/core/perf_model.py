@@ -31,7 +31,6 @@ from ..winograd.cook_toom import WinogradTransform
 from ..workloads.layers import ConvLayerSpec
 from .comm_model import (
     DEFAULT_FACTORS,
-    CommVolume,
     TrafficFactors,
     layer_comm_volume,
     transform_for,

@@ -16,7 +16,6 @@ from typing import List
 from ..netsim.engine import Message, NetworkSimulator
 from ..netsim.topology import GridLayout, Topology, hybrid
 from ..params import DEFAULT_PARAMS, HardwareParams
-from ..winograd.cook_toom import WinogradTransform
 from ..workloads.layers import ConvLayerSpec
 from .comm_model import DEFAULT_FACTORS, TrafficFactors, layer_comm_volume
 from .config import GridConfig, SystemConfig

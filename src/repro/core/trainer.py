@@ -11,7 +11,7 @@ energy for any Table IV configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from ..ndp.energy import EnergyBreakdown
 from ..ndp.taskgraph import TaskExecutor, TaskGraph

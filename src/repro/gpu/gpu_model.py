@@ -13,7 +13,6 @@ Constants are calibrated so a single V100 sustains the publicly reported
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 
 from ..workloads.layers import ConvLayerSpec

@@ -9,7 +9,7 @@ DMA engines.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..params import DEFAULT_PARAMS, HardwareParams
 from .dram import DramModel

@@ -16,7 +16,7 @@ times land near the closed forms the performance model uses).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Optional, Sequence
 
 from ..params import DEFAULT_PARAMS, HardwareParams
 from .engine import Message, NetworkSimulator

@@ -58,10 +58,10 @@ class Conv2D(Layer):
         out_channels: int,
         kernel: int = 3,
         pad: int = 1,
-        rng: Optional[np.random.Generator] = None,
+        *,
+        rng: np.random.Generator,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
         self.pad = pad
         fan_in = in_channels * kernel * kernel
         self.params["w"] = _he_init(
@@ -97,10 +97,10 @@ class WinogradConv2D(Layer):
         out_channels: int,
         transform: WinogradTransform,
         pad: int = 1,
-        rng: Optional[np.random.Generator] = None,
+        *,
+        rng: np.random.Generator,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
         self.transform = transform
         self.pad = pad
         fan_in = in_channels * transform.r * transform.r
@@ -225,10 +225,10 @@ class Dense(Layer):
         self,
         in_features: int,
         out_features: int,
-        rng: Optional[np.random.Generator] = None,
+        *,
+        rng: np.random.Generator,
     ) -> None:
         super().__init__()
-        rng = rng or np.random.default_rng(0)
         self.params["w"] = _he_init((in_features, out_features), in_features, rng)
         self.params["b"] = np.zeros(out_features)
         self.grads["w"] = np.zeros_like(self.params["w"])

@@ -6,7 +6,6 @@ from typing import Dict, Tuple
 
 import numpy as np
 
-from .layers import Layer
 from .network import Sequential
 
 
@@ -21,8 +20,8 @@ class SGD:
 
     def step(self) -> None:
         """Apply one update from the accumulated gradients."""
-        for layer, name in self.network.parameters():
-            key = (id(layer), name)
+        for index, (layer, name) in enumerate(self.network.parameters()):
+            key = (index, name)
             grad = layer.grads[name]
             vel = self._velocity.get(key)
             if vel is None:

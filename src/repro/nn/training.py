@@ -8,7 +8,7 @@ from typing import List
 import numpy as np
 
 from .data import Dataset
-from .losses import accuracy, softmax_cross_entropy
+from .losses import softmax_cross_entropy
 from .network import Sequential
 from .optim import SGD
 

@@ -27,7 +27,6 @@ from ..winograd.cook_toom import WinogradTransform
 from .quantization import (
     NonUniformQuantizer,
     QuantizedTensor,
-    QuantizerConfig,
     interval_matmul_right,
 )
 

@@ -54,6 +54,10 @@ class QuantizerConfig:
             raise ValueError(
                 f"levels={self.levels} cannot fill {self.regions} regions per sign"
             )
+        if self.coverage_sigmas <= 0:
+            raise ValueError(
+                f"coverage_sigmas must be > 0, got {self.coverage_sigmas}"
+            )
 
     @property
     def steps_per_region(self) -> int:

@@ -14,7 +14,7 @@ from typing import Dict, List, Tuple
 import numpy as np
 
 from ..nn.data import natural_feature_maps
-from ..winograd.cook_toom import WinogradTransform, make_transform
+from ..winograd.cook_toom import make_transform
 from ..winograd.conv import elementwise_matmul, spatial_to_winograd
 from ..winograd.tiling import TileGrid, extract_tiles
 from .predictor import (
@@ -24,7 +24,7 @@ from .predictor import (
     predict_2d,
 )
 from .quantization import NonUniformQuantizer, QuantizerConfig
-from .zero_skip import ZeroSkipResult, zero_skip_1d, zero_skip_2d
+from .zero_skip import zero_skip_1d, zero_skip_2d
 
 
 @dataclass

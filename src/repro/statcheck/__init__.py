@@ -1,0 +1,50 @@
+"""Repo-specific static analysis (``python -m repro.statcheck``).
+
+The whole reproduction is a chain of arithmetic over physical quantities
+(``*_bytes``, ``*_seconds``, ``*_flops``, ``*_pj``, ``*_bytes_per_s``)
+plus a deterministic event engine.  A single mixed-unit expression or a
+nondeterministic tie-break silently corrupts every figure without
+failing a numeric test, so this package lints the source tree for three
+repo-specific hazard families:
+
+* **Unit dimensions** (``UNIT0xx``) — dimensions are inferred from the
+  naming convention and checked across additions, comparisons, returns,
+  assignments and keyword arguments.
+* **Determinism** (``DET0xx``) — unseeded RNGs, constant-seed fallbacks,
+  iteration over unordered sets, ``id()``-based keying, and float
+  equality between simulated-time expressions.
+* **Config invariants** (``CFG0xx``) — every ``*Config`` dataclass must
+  validate its numeric fields, and literal worker-grid constants must
+  keep ``num_groups * num_clusters == num_workers``.
+
+Findings can be suppressed per line with ``# statcheck: ignore[RULE]``
+or per file with ``# statcheck: ignore-file[RULE]``; see
+``docs/statcheck.md`` for the rule catalogue.
+"""
+
+from __future__ import annotations
+
+from .engine import (
+    Context,
+    Rule,
+    all_rules,
+    check_file,
+    check_paths,
+    check_source,
+    iter_python_files,
+)
+from .findings import Finding, Severity, render_json, render_text
+
+__all__ = [
+    "Context",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "check_file",
+    "check_paths",
+    "check_source",
+    "iter_python_files",
+    "render_json",
+    "render_text",
+]

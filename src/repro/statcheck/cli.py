@@ -1,0 +1,93 @@
+"""``python -m repro.statcheck [paths]`` — run the suite from a shell.
+
+Exit status: 0 when clean, 1 when findings remain, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .engine import all_rules, check_paths
+from .findings import render_json, render_text
+
+
+def _default_paths() -> List[Path]:
+    """Lint the installed ``repro`` package when no path is given."""
+    return [Path(__file__).resolve().parents[1]]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.statcheck",
+        description=(
+            "Repo-specific static analysis: unit-dimension, determinism "
+            "and config-invariant lints for the MPT reproduction."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files or directories to check (default: the repro package)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a machine-readable JSON report instead of text",
+    )
+    parser.add_argument(
+        "--select",
+        default="",
+        metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore",
+        default="",
+        metavar="IDS",
+        help="comma-separated rule ids to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _split_ids(raw: str) -> Optional[List[str]]:
+    ids = [token.strip() for token in raw.split(",") if token.strip()]
+    return ids or None
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.name}")
+            print(f"    {rule.description}")
+        return 0
+    paths = args.paths or _default_paths()
+    missing = [str(p) for p in paths if not Path(p).exists()]
+    if missing:
+        print(f"statcheck: no such path: {', '.join(missing)}", file=sys.stderr)
+        return 2
+    try:
+        findings = check_paths(
+            paths, select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+        )
+    except ValueError as exc:
+        print(f"statcheck: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Dimension algebra over the repo's naming convention.
+
+A dimension is a sorted tuple of ``(base_unit, exponent)`` pairs — the
+empty tuple is a known dimensionless quantity (counts, ratios) and
+``None`` means *unknown* (no suffix, no inference).  Scale prefixes are
+deliberately ignored: ``_ms`` and ``_s`` share the *second* dimension
+(the lint checks dimensions, not magnitudes), and ``bit`` shares the
+*byte* dimension.
+
+``clock_hz`` is cycles per second, so ``cycles / hz -> seconds`` and
+``bytes_per_s / hz -> bytes_per_cycle`` both fall out of the algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+Dim = Tuple[Tuple[str, int], ...]
+MaybeDim = Optional[Dim]
+
+BYTE = "byte"
+SECOND = "second"
+FLOP = "flop"
+CYCLE = "cycle"
+JOULE = "joule"
+
+DIMLESS: Dim = ()
+
+
+def make(**units: int) -> Dim:
+    return tuple(sorted((u, e) for u, e in units.items() if e))
+
+
+def mul(a: MaybeDim, b: MaybeDim) -> MaybeDim:
+    if a is None or b is None:
+        return None
+    combined: Dict[str, int] = dict(a)
+    for unit, exp in b:
+        combined[unit] = combined.get(unit, 0) + exp
+    return tuple(sorted((u, e) for u, e in combined.items() if e))
+
+
+def div(a: MaybeDim, b: MaybeDim) -> MaybeDim:
+    if a is None or b is None:
+        return None
+    return mul(a, tuple((u, -e) for u, e in b))
+
+
+def power(base: MaybeDim, exponent: int) -> MaybeDim:
+    if base is None:
+        return None
+    return tuple(sorted((u, e * exponent) for u, e in base if e * exponent))
+
+
+def conflict(a: MaybeDim, b: MaybeDim) -> bool:
+    """Two *unit-bearing* dimensions disagree.  Unknown (``None``) and
+    dimensionless quantities are compatible with everything — counts mix
+    freely with sized quantities by design (``nbytes * 8``)."""
+    return a is not None and b is not None and a != DIMLESS and b != DIMLESS and a != b
+
+
+def combine_add(a: MaybeDim, b: MaybeDim) -> MaybeDim:
+    """Resulting dimension of ``a + b`` (after any conflict was already
+    reported): the unit-bearing side wins so sums like ``now + delta_s``
+    keep propagating *seconds* through a chain."""
+    if a == b:
+        return a
+    if a is None or a == DIMLESS:
+        return b
+    if b is None or b == DIMLESS:
+        return a
+    return None  # conflicting unit-bearing dimensions (reported upstream)
+
+
+def fmt(dim: MaybeDim) -> str:
+    if dim is None:
+        return "?"
+    if dim == DIMLESS:
+        return "dimensionless"
+    num = [u if e == 1 else f"{u}^{e}" for u, e in dim if e > 0]
+    den = [u if e == -1 else f"{u}^{-e}" for u, e in dim if e < 0]
+    if not num:
+        num = ["1"]
+    return "*".join(num) + ("/" + "/".join(den) if den else "")
+
+
+#: Name tokens that carry a base dimension (scale prefixes collapse).
+TOKEN_UNITS: Dict[str, Dim] = {
+    **{t: make(byte=1) for t in (
+        "byte", "bytes", "bit", "bits", "kb", "mb", "gb", "kib", "mib", "gib",
+    )},
+    **{t: make(second=1) for t in (
+        "s", "sec", "secs", "second", "seconds", "ms", "us", "ns",
+    )},
+    **{t: make(flop=1) for t in (
+        "flop", "flops", "mflops", "gflops", "tflops", "mac", "macs",
+    )},
+    **{t: make(cycle=1) for t in ("cycle", "cycles")},
+    **{t: make(joule=1) for t in (
+        "j", "joule", "joules", "pj", "nj", "uj", "mj",
+    )},
+    # A frequency is cycles per second, which makes `cycles / hz`
+    # come out in seconds.
+    **{t: make(cycle=1, second=-1) for t in ("hz", "khz", "mhz", "ghz")},
+}
+
+#: Exact-name dimensions that the suffix grammar cannot express — `_w`
+#: alone is too ambiguous a suffix (``batch_w`` is a per-worker batch),
+#: so idle-power constants are named explicitly.
+NAME_OVERRIDES: Dict[str, Dim] = {
+    "full_link_idle_w": make(joule=1, second=-1),
+    "narrow_link_idle_w": make(joule=1, second=-1),
+}
+
+
+def name_dim(name: Optional[str], allow_bare: bool = True) -> MaybeDim:
+    """Dimension carried by an identifier, or ``None``.
+
+    ``x_bytes -> byte``; ``dram_bytes_per_s -> byte/second``;
+    ``clock_hz -> cycle/second``; ``images_per_s -> None`` (an unknown
+    numerator poisons the whole compound rather than guessing ``1/s``).
+    ``allow_bare=False`` requires a multi-token name, which keeps
+    single-word identifiers like a ``bits()`` helper out of the
+    function-suffix checks while still letting a bare ``BYTES`` constant
+    carry its dimension as a variable.
+    """
+    if not name:
+        return None
+    lowered = name.lower()
+    if lowered in NAME_OVERRIDES:
+        return NAME_OVERRIDES[lowered]
+    tokens = [t for t in lowered.split("_") if t]
+    if not tokens:
+        return None
+    if len(tokens) >= 3 and tokens[-2] == "per":
+        numerator, denominator = tokens[-3], tokens[-1]
+        if numerator in TOKEN_UNITS and denominator in TOKEN_UNITS:
+            return div(TOKEN_UNITS[numerator], TOKEN_UNITS[denominator])
+        return None
+    if tokens[-1] in TOKEN_UNITS:
+        # A bare name is only unit-bearing when it is unambiguously a
+        # unit word (``BYTES``, ``cycle``); one- and two-letter bare
+        # names like a loop variable ``j`` or ``ms`` stay unknown.
+        if len(tokens) == 1 and (not allow_bare or len(tokens[0]) < 3):
+            return None
+        return TOKEN_UNITS[tokens[-1]]
+    return None
+
+
+SECONDS: Dim = make(second=1)

@@ -1,0 +1,165 @@
+"""AST walker, rule registry and the file/tree entry points."""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence
+
+from .findings import Finding, Severity, sort_findings
+from .suppress import SuppressionIndex
+
+#: Directory names never descended into when walking a tree.
+EXCLUDED_DIRS = {".git", "__pycache__", ".egg-info", "repro.egg-info", ".venv"}
+
+
+@dataclass
+class Context:
+    """Everything a rule gets to see about one file.
+
+    ``cache`` is shared by all rules on the same file so expensive
+    analyses (the dimension-inference pass) run once even when several
+    rules consume their results.
+    """
+
+    path: str
+    source: str
+    tree: ast.Module
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+    def finding(
+        self,
+        rule: "Rule",
+        node: ast.AST,
+        message: str,
+        severity: Severity = Severity.ERROR,
+    ) -> Finding:
+        return Finding(
+            rule=rule.id,
+            message=message,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            severity=severity,
+        )
+
+
+class Rule:
+    """Base class: subclasses set ``id``/``name``/``description`` and
+    implement :meth:`check`."""
+
+    id: str = ""
+    name: str = ""
+    description: str = ""
+
+    def check(self, ctx: Context) -> Iterable[Finding]:
+        raise NotImplementedError
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Callable[[], Rule]) -> Callable[[], Rule]:
+    """Class decorator adding one rule instance to the global registry."""
+    rule = rule_cls()
+    if not rule.id:
+        raise ValueError(f"rule {rule_cls!r} has no id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Registered rules, importing the built-in rule modules on first
+    use (registration happens at import time)."""
+    from . import rules  # noqa: F401  (imported for registration side effect)
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+def _selected_rules(
+    select: Optional[Sequence[str]], ignore: Optional[Sequence[str]]
+) -> List[Rule]:
+    rules = all_rules()
+    if select:
+        wanted = set(select)
+        unknown = wanted - {r.id for r in rules}
+        if unknown:
+            raise ValueError(f"unknown rule ids: {sorted(unknown)}")
+        rules = [r for r in rules if r.id in wanted]
+    if ignore:
+        rules = [r for r in rules if r.id not in set(ignore)]
+    return rules
+
+
+def check_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the (selected) rules over one source string."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule="SYNT001",
+                message=f"file does not parse: {exc.msg}",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 1) - 1,
+            )
+        ]
+    ctx = Context(path=path, source=source, tree=tree)
+    findings: List[Finding] = []
+    for rule in _selected_rules(select, ignore):
+        findings.extend(rule.check(ctx))
+    return sort_findings(SuppressionIndex(source).apply(findings))
+
+
+def check_file(
+    path: Path,
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    source = Path(path).read_text(encoding="utf-8")
+    return check_source(source, path=str(path), select=select, ignore=ignore)
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterator[Path]:
+    """Expand files/directories into a sorted stream of ``.py`` files."""
+    seen = set()
+    for entry in paths:
+        entry = Path(entry)
+        if entry.is_dir():
+            candidates = sorted(
+                p
+                for p in entry.rglob("*.py")
+                if not any(
+                    part in EXCLUDED_DIRS or part.endswith(".egg-info")
+                    for part in p.parts
+                )
+            )
+        elif entry.suffix == ".py":
+            candidates = [entry]
+        else:
+            candidates = []
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def check_paths(
+    paths: Sequence[Path],
+    select: Optional[Sequence[str]] = None,
+    ignore: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run the suite over files and directory trees."""
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, select=select, ignore=ignore))
+    return sort_findings(findings)

@@ -1,0 +1,74 @@
+"""Finding/severity model and the text/JSON reporters."""
+
+from __future__ import annotations
+
+import enum
+import json
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.
+
+    ``ERROR`` findings fail CI (the tier-1 self-run test asserts zero);
+    ``WARNING`` is reserved for advisory rules — the built-in families
+    all report errors, but the JSON report tallies the two separately.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    message: str
+    path: str
+    line: int
+    col: int = 0
+    severity: Severity = Severity.ERROR
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+        }
+
+
+def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One ``path:line:col: RULE message`` row per finding plus a
+    summary line (mirrors the familiar compiler-diagnostic shape)."""
+    rows = [
+        f"{f.location()}: {f.rule} [{f.severity.value}] {f.message}"
+        for f in sort_findings(findings)
+    ]
+    count = len(findings)
+    noun = "finding" if count == 1 else "findings"
+    rows.append(f"statcheck: {count} {noun}")
+    return "\n".join(rows)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    """Machine-readable report (consumed by the benchmark harness to
+    track lint drift alongside perf numbers)."""
+    payload = {
+        "version": 1,
+        "count": len(findings),
+        "errors": sum(1 for f in findings if f.severity is Severity.ERROR),
+        "findings": [f.to_dict() for f in sort_findings(findings)],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,8 @@
+"""Built-in rule families.  Importing this package registers every rule
+with the engine (each module uses the ``@register`` decorator)."""
+
+from __future__ import annotations
+
+from . import config_rules, determinism, units  # noqa: F401
+
+__all__ = ["config_rules", "determinism", "units"]

@@ -1,0 +1,288 @@
+"""Determinism lint (``DET001``–``DET005``).
+
+The event engine, the collectives and the task scheduler all assume a
+bit-reproducible run: every tie-break, iteration order and random draw
+must be fixed by the inputs.  These rules flag the constructs that break
+that silently across processes (hash-randomised set order, ``id()``
+values, unseeded generators) or across refactors (shared constant-seed
+fallbacks, float equality on accumulated simulated time).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from ..engine import Context, Rule, register
+from .units import unit_pass
+
+#: Legacy global-state numpy RNG entry points (`np.random.<fn>`).
+_NUMPY_LEGACY = {
+    "seed", "rand", "randn", "randint", "random", "random_sample", "ranf",
+    "sample", "choice", "shuffle", "permutation", "standard_normal",
+    "uniform", "normal", "binomial", "poisson", "exponential", "bytes",
+}
+#: Stdlib `random` module functions with process-global state.
+_STDLIB_RANDOM = {
+    "seed", "random", "randint", "randrange", "getrandbits", "choice",
+    "choices", "shuffle", "sample", "uniform", "triangular", "gauss",
+    "normalvariate", "expovariate", "betavariate", "paretovariate",
+}
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """`np.random.default_rng` -> "np.random.default_rng"."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _module_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Names bound by imports, mapped to the canonical module path."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                aliases[alias.asname or alias.name.split(".")[0]] = alias.name
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            for alias in node.names:
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def _canonical(dotted: str, aliases: Dict[str, str]) -> str:
+    head, _, rest = dotted.partition(".")
+    resolved = aliases.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved
+
+
+def _is_constant_seed(node: ast.expr) -> bool:
+    return isinstance(node, ast.Constant) and isinstance(node.value, int)
+
+
+@register
+class UnseededRandom(Rule):
+    id = "DET001"
+    name = "unseeded-random"
+    description = (
+        "Unseeded np.random.default_rng()/SeedSequence(), legacy "
+        "np.random.* global-state calls, or stdlib random.* calls — all "
+        "draw from process-global or entropy-seeded state."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        aliases = _module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            canonical = _canonical(dotted, aliases)
+            if canonical in (
+                "numpy.random.default_rng",
+                "numpy.random.SeedSequence",
+            ):
+                unseeded = not node.args or (
+                    isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                )
+                if unseeded and not node.keywords:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"{canonical.rsplit('.', 1)[1]}() without a seed draws "
+                        "OS entropy; thread a seeded generator instead",
+                    )
+            elif (
+                canonical.startswith("numpy.random.")
+                and canonical.rsplit(".", 1)[1] in _NUMPY_LEGACY
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"legacy global-state call {dotted}(); use a seeded "
+                    "np.random.Generator",
+                )
+            elif (
+                canonical.startswith("random.")
+                and canonical.rsplit(".", 1)[1] in _STDLIB_RANDOM
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"stdlib {dotted}() uses process-global state; use a "
+                    "seeded np.random.Generator",
+                )
+
+
+def _is_set_expr(node: ast.expr, set_names: Set[str]) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in ("set", "frozenset"):
+            return True
+        if isinstance(node.func, ast.Attribute) and node.func.attr in (
+            "difference", "union", "intersection", "symmetric_difference",
+        ):
+            return _is_set_expr(node.func.value, set_names) or any(
+                _is_set_expr(arg, set_names) for arg in node.args
+            )
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) or _is_set_expr(
+            node.right, set_names
+        )
+    return False
+
+
+@register
+class SetIterationOrder(Rule):
+    id = "DET002"
+    name = "set-iteration-order"
+    description = (
+        "Iterating (or materialising) a set in an order-sensitive "
+        "position; set order depends on hashing, which is randomised for "
+        "strings — sort first when the order feeds scheduling."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        set_names: Set[str] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                if isinstance(target, ast.Name):
+                    if _is_set_expr(node.value, set_names):
+                        set_names.add(target.id)
+                    else:
+                        set_names.discard(target.id)
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+                node.iter, set_names
+            ):
+                yield ctx.finding(
+                    self, node, "for-loop iterates a set in hash order; "
+                    "wrap the iterable in sorted()"
+                )
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for comp in node.generators:
+                    if _is_set_expr(comp.iter, set_names):
+                        yield ctx.finding(
+                            self, node, "comprehension iterates a set in hash "
+                            "order; wrap the iterable in sorted()"
+                        )
+            elif (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id in ("list", "tuple")
+                and node.args
+                and _is_set_expr(node.args[0], set_names)
+            ):
+                yield ctx.finding(
+                    self, node, f"{node.func.id}() of a set materialises hash "
+                    "order; use sorted() instead"
+                )
+
+
+@register
+class FloatTimeEquality(Rule):
+    id = "DET003"
+    name = "float-time-equality"
+    description = (
+        "== / != between two seconds-dimension expressions; accumulated "
+        "float simulated time must be compared with tolerances or event "
+        "ordering, never exact equality."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        for node in unit_pass(ctx).time_eq_nodes:
+            yield ctx.finding(
+                self,
+                node,
+                "float equality between simulated-time expressions; use an "
+                "epsilon or compare event ordering instead",
+            )
+
+
+@register
+class IdentityOrdering(Rule):
+    id = "DET004"
+    name = "identity-ordering"
+    description = (
+        "id() used as a dict/set key or ordering tie-break; CPython "
+        "addresses change run to run, so any ordering or serialisation "
+        "derived from them is process-nondeterministic."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "id"
+                and len(node.args) == 1
+                and not node.keywords
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "id()-derived keys/ordering differ between runs; key on a "
+                    "stable index or name instead",
+                )
+
+
+@register
+class ConstantSeedFallback(Rule):
+    id = "DET005"
+    name = "constant-seed-fallback"
+    description = (
+        "`rng or np.random.default_rng(0)`-style fallback: every caller "
+        "that omits rng silently shares one constant seed, making "
+        "'independent' components identical. Thread one seeded generator "
+        "from the constructor instead."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        aliases = _module_aliases(ctx.tree)
+
+        def is_const_default_rng(node: ast.expr) -> bool:
+            if not isinstance(node, ast.Call):
+                return False
+            dotted = _dotted(node.func)
+            if dotted is None:
+                return False
+            return (
+                _canonical(dotted, aliases) == "numpy.random.default_rng"
+                and len(node.args) == 1
+                and _is_constant_seed(node.args[0])
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BoolOp) and isinstance(node.op, ast.Or):
+                for value in node.values[1:]:
+                    if is_const_default_rng(value):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "constant-seed default_rng fallback shares one "
+                            "stream across callers; require/thread a generator",
+                        )
+            elif isinstance(node, ast.IfExp):
+                for branch in (node.body, node.orelse):
+                    if is_const_default_rng(branch):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            "constant-seed default_rng fallback shares one "
+                            "stream across callers; require/thread a generator",
+                        )

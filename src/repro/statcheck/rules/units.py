@@ -1,0 +1,424 @@
+"""Unit-dimension lint (``UNIT001``–``UNIT004``).
+
+A scope-aware inference pass walks each function in statement order,
+propagating dimensions from name suffixes (``_bytes``, ``_seconds``,
+``_flops``, ``_cycles``, ``_pj``, ``_bytes_per_s``, ``clock_hz``…)
+through arithmetic.  Inference is deliberately conservative: a conflict
+is only reported when *both* sides carry known, unit-bearing dimensions,
+so unsuffixed intermediates never produce noise.
+
+The same pass records float ``==``/``!=`` between two seconds-dimension
+expressions; the determinism family reports those as ``DET003``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Tuple
+
+from ..dimensions import (
+    DIMLESS,
+    SECONDS,
+    MaybeDim,
+    combine_add,
+    conflict,
+    div,
+    fmt,
+    mul,
+    name_dim,
+    power,
+)
+from ..engine import Context, Rule, register
+
+#: Builtins whose result is a plain count regardless of argument units.
+_DIMLESS_CALLS = {
+    "len", "range", "enumerate", "ord", "hash", "log", "log2", "log10",
+    "exp", "sqrt", "bool",
+}
+#: Builtins that pass their argument dimension through.
+_PASSTHROUGH_CALLS = {
+    "min", "max", "abs", "sum", "int", "float", "round", "ceil", "floor",
+    "fabs", "maximum", "minimum",
+}
+
+_CHECKED_COMPARES = (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq)
+
+Scope = Dict[str, MaybeDim]
+
+
+class _UnitPass:
+    """One file's inference pass; collects raw ``(kind, node, message)``
+    events that the rule classes turn into findings."""
+
+    def __init__(self) -> None:
+        self.unit_events: List[Tuple[str, ast.AST, str]] = []
+        self.time_eq_nodes: List[ast.Compare] = []
+
+    # ---- statements ------------------------------------------------------
+    def run(self, tree: ast.Module) -> None:
+        self._exec_block(tree.body, {}, func_dim=None)
+
+    def _exec_block(
+        self, stmts: List[ast.stmt], scope: Scope, func_dim: MaybeDim
+    ) -> None:
+        for stmt in stmts:
+            self._exec_stmt(stmt, scope, func_dim)
+
+    def _exec_stmt(self, stmt: ast.stmt, scope: Scope, func_dim: MaybeDim) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            for decorator in stmt.decorator_list:
+                self._infer(decorator, scope)
+            for default in list(stmt.args.defaults) + [
+                d for d in stmt.args.kw_defaults if d is not None
+            ]:
+                self._infer(default, scope)
+            inner_dim = name_dim(stmt.name, allow_bare=False)
+            # Nested scopes see a snapshot of the enclosing bindings
+            # (closures read variables assigned before the def).
+            self._exec_block(stmt.body, dict(scope), func_dim=inner_dim)
+        elif isinstance(stmt, ast.ClassDef):
+            for decorator in stmt.decorator_list:
+                self._infer(decorator, scope)
+            self._exec_block(stmt.body, {}, func_dim=None)
+        elif isinstance(stmt, ast.Assign):
+            value_dim = self._infer(stmt.value, scope)
+            for target in stmt.targets:
+                self._bind(target, value_dim, scope, stmt)
+        elif isinstance(stmt, ast.AnnAssign):
+            value_dim = self._infer(stmt.value, scope) if stmt.value else None
+            self._bind(stmt.target, value_dim, scope, stmt)
+        elif isinstance(stmt, ast.AugAssign):
+            value_dim = self._infer(stmt.value, scope)
+            target_dim = self._target_dim(stmt.target, scope)
+            if isinstance(stmt.op, (ast.Add, ast.Sub)):
+                if conflict(target_dim, value_dim):
+                    self._unit_event(
+                        "UNIT001",
+                        stmt,
+                        f"augmented {type(stmt.op).__name__.lower()} mixes "
+                        f"{fmt(target_dim)} with {fmt(value_dim)}",
+                    )
+                result = combine_add(target_dim, value_dim)
+            elif isinstance(stmt.op, ast.Mult):
+                result = mul(target_dim, value_dim)
+            elif isinstance(stmt.op, (ast.Div, ast.FloorDiv)):
+                result = div(target_dim, value_dim)
+            else:
+                result = None
+            if isinstance(stmt.target, ast.Name):
+                scope[stmt.target.id] = result
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                value_dim = self._infer(stmt.value, scope)
+                if conflict(func_dim, value_dim):
+                    self._unit_event(
+                        "UNIT002",
+                        stmt,
+                        f"function suffix implies {fmt(func_dim)} but returns "
+                        f"{fmt(value_dim)}",
+                    )
+        elif isinstance(stmt, (ast.If, ast.While)):
+            self._infer(stmt.test, scope)
+            self._exec_block(stmt.body, scope, func_dim)
+            self._exec_block(stmt.orelse, scope, func_dim)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self._infer(stmt.iter, scope)
+            self._clear_targets(stmt.target, scope)
+            self._exec_block(stmt.body, scope, func_dim)
+            self._exec_block(stmt.orelse, scope, func_dim)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self._infer(item.context_expr, scope)
+                if item.optional_vars is not None:
+                    self._clear_targets(item.optional_vars, scope)
+            self._exec_block(stmt.body, scope, func_dim)
+        elif isinstance(stmt, ast.Try):
+            self._exec_block(stmt.body, scope, func_dim)
+            for handler in stmt.handlers:
+                self._exec_block(handler.body, scope, func_dim)
+            self._exec_block(stmt.orelse, scope, func_dim)
+            self._exec_block(stmt.finalbody, scope, func_dim)
+        elif isinstance(stmt, ast.Expr):
+            self._infer(stmt.value, scope)
+        elif isinstance(stmt, ast.Assert):
+            self._infer(stmt.test, scope)
+            if stmt.msg is not None:
+                self._infer(stmt.msg, scope)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self._infer(stmt.exc, scope)
+        elif isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self._clear_targets(target, scope)
+        # Import/Pass/Break/Continue/Global/Nonlocal: nothing to infer.
+
+    # ---- binding helpers -------------------------------------------------
+    def _target_dim(self, target: ast.expr, scope: Scope) -> MaybeDim:
+        if isinstance(target, ast.Name):
+            suffix = name_dim(target.id)
+            return suffix if suffix is not None else scope.get(target.id)
+        if isinstance(target, ast.Attribute):
+            return name_dim(target.attr)
+        return None
+
+    def _bind(
+        self, target: ast.expr, value_dim: MaybeDim, scope: Scope, stmt: ast.stmt
+    ) -> None:
+        if isinstance(target, ast.Name):
+            suffix = name_dim(target.id)
+            if conflict(suffix, value_dim):
+                self._unit_event(
+                    "UNIT003",
+                    stmt,
+                    f"'{target.id}' implies {fmt(suffix)} but is assigned "
+                    f"{fmt(value_dim)}",
+                )
+            previous = scope.get(target.id)
+            # Rebinding with a different dimension (loop-carried values,
+            # reuse of a scratch name) degrades to unknown.
+            if target.id in scope and conflict(previous, value_dim):
+                scope[target.id] = None
+            else:
+                scope[target.id] = value_dim
+        elif isinstance(target, ast.Attribute):
+            suffix = name_dim(target.attr)
+            if conflict(suffix, value_dim):
+                self._unit_event(
+                    "UNIT003",
+                    stmt,
+                    f"'.{target.attr}' implies {fmt(suffix)} but is assigned "
+                    f"{fmt(value_dim)}",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._clear_targets(element, scope)
+
+    def _clear_targets(self, target: ast.expr, scope: Scope) -> None:
+        if isinstance(target, ast.Name):
+            scope[target.id] = None
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._clear_targets(element, scope)
+        elif isinstance(target, ast.Starred):
+            self._clear_targets(target.value, scope)
+
+    # ---- expressions -----------------------------------------------------
+    def _infer(self, node: Optional[ast.expr], scope: Scope) -> MaybeDim:
+        if node is None:
+            return None
+        if isinstance(node, ast.Constant):
+            return DIMLESS if isinstance(node.value, (int, float)) and not isinstance(
+                node.value, bool
+            ) else None
+        if isinstance(node, ast.Name):
+            suffix = name_dim(node.id)
+            return suffix if suffix is not None else scope.get(node.id)
+        if isinstance(node, ast.Attribute):
+            self._infer(node.value, scope)
+            return name_dim(node.attr)
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node, scope)
+        if isinstance(node, ast.UnaryOp):
+            return self._infer(node.operand, scope)
+        if isinstance(node, ast.BoolOp):
+            dims = [self._infer(v, scope) for v in node.values]
+            known = {d for d in dims if d is not None}
+            return known.pop() if len(known) == 1 else None
+        if isinstance(node, ast.Compare):
+            self._infer_compare(node, scope)
+            return None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, scope)
+        if isinstance(node, ast.IfExp):
+            self._infer(node.test, scope)
+            body = self._infer(node.body, scope)
+            orelse = self._infer(node.orelse, scope)
+            return body if body == orelse else None
+        if isinstance(node, ast.Subscript):
+            self._infer(node.value, scope)
+            self._infer(node.slice, scope)
+            return None
+        if isinstance(node, ast.Starred):
+            self._infer(node.value, scope)
+            return None
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for element in node.elts:
+                self._infer(element, scope)
+            return None
+        if isinstance(node, ast.Dict):
+            for key in node.keys:
+                self._infer(key, scope)
+            for value in node.values:
+                self._infer(value, scope)
+            return None
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)):
+            inner = dict(scope)
+            for comp in node.generators:
+                self._infer(comp.iter, inner)
+                self._clear_targets(comp.target, inner)
+                for cond in comp.ifs:
+                    self._infer(cond, inner)
+            self._infer(node.elt, inner)
+            return None
+        if isinstance(node, ast.DictComp):
+            inner = dict(scope)
+            for comp in node.generators:
+                self._infer(comp.iter, inner)
+                self._clear_targets(comp.target, inner)
+                for cond in comp.ifs:
+                    self._infer(cond, inner)
+            self._infer(node.key, inner)
+            self._infer(node.value, inner)
+            return None
+        if isinstance(node, ast.Lambda):
+            self._infer(node.body, dict(scope))
+            return None
+        if isinstance(node, ast.JoinedStr):
+            for value in node.values:
+                if isinstance(value, ast.FormattedValue):
+                    self._infer(value.value, scope)
+            return None
+        if isinstance(node, (ast.Await, ast.YieldFrom)):
+            self._infer(node.value, scope)  # type: ignore[arg-type]
+            return None
+        if isinstance(node, ast.Yield):
+            if node.value is not None:
+                self._infer(node.value, scope)
+            return None
+        return None
+
+    def _infer_binop(self, node: ast.BinOp, scope: Scope) -> MaybeDim:
+        left = self._infer(node.left, scope)
+        right = self._infer(node.right, scope)
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if conflict(left, right):
+                self._unit_event(
+                    "UNIT001",
+                    node,
+                    f"{'addition' if isinstance(node.op, ast.Add) else 'subtraction'}"
+                    f" mixes {fmt(left)} with {fmt(right)}",
+                )
+            return combine_add(left, right)
+        if isinstance(node.op, ast.Mult):
+            return mul(left, right)
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            return div(left, right)
+        if isinstance(node.op, ast.Mod):
+            return left
+        if isinstance(node.op, ast.Pow):
+            if (
+                isinstance(node.right, ast.Constant)
+                and isinstance(node.right.value, int)
+            ):
+                return power(left, node.right.value)
+            return DIMLESS if left == DIMLESS else None
+        return None
+
+    def _infer_compare(self, node: ast.Compare, scope: Scope) -> None:
+        operands = [node.left] + list(node.comparators)
+        dims = [self._infer(operand, scope) for operand in operands]
+        for op, left, right in zip(node.ops, dims, dims[1:]):
+            if not isinstance(op, _CHECKED_COMPARES):
+                continue
+            if conflict(left, right):
+                self._unit_event(
+                    "UNIT001",
+                    node,
+                    f"comparison mixes {fmt(left)} with {fmt(right)}",
+                )
+            elif (
+                isinstance(op, (ast.Eq, ast.NotEq))
+                and left == SECONDS
+                and right == SECONDS
+            ):
+                self.time_eq_nodes.append(node)
+
+    def _infer_call(self, node: ast.Call, scope: Scope) -> MaybeDim:
+        func_name = None
+        if isinstance(node.func, ast.Name):
+            func_name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            func_name = node.func.attr
+            self._infer(node.func.value, scope)
+        arg_dims = [self._infer(arg, scope) for arg in node.args]
+        for keyword in node.keywords:
+            value_dim = self._infer(keyword.value, scope)
+            kw_dim = name_dim(keyword.arg, allow_bare=False)
+            if conflict(kw_dim, value_dim):
+                self._unit_event(
+                    "UNIT004",
+                    keyword.value,
+                    f"keyword '{keyword.arg}' implies {fmt(kw_dim)} but gets "
+                    f"{fmt(value_dim)}",
+                )
+        if func_name in _DIMLESS_CALLS:
+            return DIMLESS
+        if func_name in _PASSTHROUGH_CALLS:
+            known = {d for d in arg_dims if d is not None and d != DIMLESS}
+            if len(known) == 1:
+                return known.pop()
+            return DIMLESS if arg_dims and all(d == DIMLESS for d in arg_dims) else None
+        return name_dim(func_name, allow_bare=False)
+
+    def _unit_event(self, rule_id: str, node: ast.AST, message: str) -> None:
+        self.unit_events.append((rule_id, node, message))
+
+
+def unit_pass(ctx: Context) -> _UnitPass:
+    """Run (or fetch the cached) inference pass for this file."""
+    cached = ctx.cache.get("unit_pass")
+    if cached is None:
+        cached = _UnitPass()
+        cached.run(ctx.tree)
+        ctx.cache["unit_pass"] = cached
+    return cached
+
+
+class _UnitRuleBase(Rule):
+    """Reports the inference pass events matching this rule's id."""
+
+    def check(self, ctx: Context):
+        for rule_id, node, message in unit_pass(ctx).unit_events:
+            if rule_id == self.id:
+                yield ctx.finding(self, node, message)
+
+
+@register
+class MixedDimensionArithmetic(_UnitRuleBase):
+    id = "UNIT001"
+    name = "mixed-dimension-arithmetic"
+    description = (
+        "Addition, subtraction or comparison between expressions whose "
+        "inferred dimensions disagree (e.g. bytes + seconds)."
+    )
+
+
+@register
+class ReturnContradictsFunctionSuffix(_UnitRuleBase):
+    id = "UNIT002"
+    name = "return-contradicts-suffix"
+    description = (
+        "A function named *_seconds/*_bytes/… returns an expression with "
+        "a different inferred dimension."
+    )
+
+
+@register
+class AssignmentContradictsSuffix(_UnitRuleBase):
+    id = "UNIT003"
+    name = "assignment-contradicts-suffix"
+    description = (
+        "A variable or attribute with a dimension suffix is assigned an "
+        "expression of a different dimension (catches wrong division "
+        "chains like bytes / seconds landing in a *_bytes name)."
+    )
+
+
+@register
+class KeywordContradictsSuffix(_UnitRuleBase):
+    id = "UNIT004"
+    name = "keyword-contradicts-suffix"
+    description = (
+        "A call passes an expression whose dimension contradicts the "
+        "keyword parameter's suffix (e.g. dram_bytes=elapsed_s)."
+    )

@@ -1,0 +1,61 @@
+"""``# statcheck: ignore[...]`` suppression comments.
+
+Two forms, mirroring the usual lint pragmas:
+
+* ``# statcheck: ignore[RULE1,RULE2]`` — suppresses the listed rules on
+  the physical line carrying the comment; when the comment stands on a
+  line of its own it applies to the next non-blank source line instead.
+* ``# statcheck: ignore-file[RULE]`` — suppresses the rule in the whole
+  file, wherever the comment appears.
+
+``*`` suppresses every rule.  Suppressions are deliberately explicit —
+there is no bare ``ignore`` — so each one documents which invariant is
+being waived.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Sequence, Set
+
+from .findings import Finding
+
+_PRAGMA = re.compile(
+    r"#\s*statcheck:\s*(?P<scope>ignore-file|ignore)\[(?P<rules>[^\]]*)\]"
+)
+
+
+class SuppressionIndex:
+    """Parsed suppression pragmas of one file."""
+
+    def __init__(self, source: str) -> None:
+        self.file_rules: Set[str] = set()
+        self.line_rules: Dict[int, Set[str]] = {}
+        lines = source.splitlines()
+        for lineno, line in enumerate(lines, start=1):
+            match = _PRAGMA.search(line)
+            if match is None:
+                continue
+            rules = {r.strip() for r in match.group("rules").split(",") if r.strip()}
+            if not rules:
+                continue
+            if match.group("scope") == "ignore-file":
+                self.file_rules |= rules
+                continue
+            target = lineno
+            if line.lstrip().startswith("#"):
+                # Comment-only line: applies to the next non-blank line.
+                for ahead in range(lineno + 1, len(lines) + 1):
+                    if lines[ahead - 1].strip():
+                        target = ahead
+                        break
+            self.line_rules.setdefault(target, set()).update(rules)
+
+    def is_suppressed(self, finding: Finding) -> bool:
+        if "*" in self.file_rules or finding.rule in self.file_rules:
+            return True
+        rules = self.line_rules.get(finding.line, ())
+        return "*" in rules or finding.rule in rules
+
+    def apply(self, findings: Sequence[Finding]) -> List[Finding]:
+        return [f for f in findings if not self.is_suppressed(f)]

@@ -49,7 +49,9 @@ def conv2d_forward(x: np.ndarray, w: np.ndarray, pad: int = 0) -> np.ndarray:
     return np.einsum("nipqhw,jipq->njhw", cols, w, optimize=True)
 
 
-def conv2d_backward_input(dy: np.ndarray, w: np.ndarray, pad: int, in_hw: tuple[int, int]) -> np.ndarray:
+def conv2d_backward_input(
+    dy: np.ndarray, w: np.ndarray, pad: int, in_hw: tuple[int, int]
+) -> np.ndarray:
     """Gradient of the loss w.r.t. the layer input (paper Section II-A).
 
     Equivalent to a "full" correlation of ``dy`` with the spatially flipped

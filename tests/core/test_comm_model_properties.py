@@ -1,0 +1,151 @@
+"""Property-style unit-consistency checks for the communication timing.
+
+The perf model's `_collective_seconds` and `_tile_seconds` wrap the
+netsim closed forms; dimensional consistency means the bandwidth term
+(total time minus the fixed hop-latency term) must scale *linearly* in
+the byte count and *inversely* in the link bandwidth — exactly what a
+`bytes / (bytes/second)` expression guarantees.  The companion
+`comm_model` byte counts must scale linearly in batch and be independent
+of it for weight traffic.
+"""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.comm_model import layer_comm_volume
+from repro.core.config import GridConfig, SystemConfig, w_dp, w_mp
+from repro.core.perf_model import PerfModel
+from repro.netsim.collectives import fbfly_avg_hops
+from repro.params import DEFAULT_PARAMS
+from repro.workloads.layers import ConvLayerSpec
+
+REL = 1e-9
+
+
+def hop_latency_s(params=DEFAULT_PARAMS):
+    return params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
+
+
+grids = st.sampled_from(
+    [GridConfig(16, 16), GridConfig(4, 64), GridConfig(1, 256), GridConfig(4, 4)]
+)
+byte_counts = st.integers(min_value=1, max_value=10**9)
+scale_factors = st.integers(min_value=2, max_value=64)
+ring_counts = st.sampled_from([1, 2, 4])
+
+
+class TestCollectiveSeconds:
+    @given(grid=grids, nbytes=byte_counts, k=scale_factors, rings=ring_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_bandwidth_term_linear_in_bytes(self, grid, nbytes, k, rings):
+        model = PerfModel()
+        latency = 2.0 * (grid.num_clusters - 1) * hop_latency_s()
+        base = model._collective_seconds(nbytes, grid, rings) - latency
+        scaled = model._collective_seconds(k * nbytes, grid, rings) - latency
+        assert scaled == pytest.approx(k * base, rel=REL)
+
+    @given(grid=grids, nbytes=byte_counts, k=scale_factors, rings=ring_counts)
+    @settings(max_examples=200, deadline=None)
+    def test_bandwidth_term_inverse_in_link_bandwidth(
+        self, grid, nbytes, k, rings
+    ):
+        base_params = DEFAULT_PARAMS
+        fast_params = replace(
+            base_params,
+            full_link_bytes_per_s=k * base_params.full_link_bytes_per_s,
+        )
+        latency = 2.0 * (grid.num_clusters - 1) * hop_latency_s()
+        base = PerfModel(base_params)._collective_seconds(nbytes, grid, rings)
+        fast = PerfModel(fast_params)._collective_seconds(nbytes, grid, rings)
+        assert fast - latency == pytest.approx((base - latency) / k, rel=REL)
+
+    @given(nbytes=byte_counts, rings=ring_counts)
+    @settings(max_examples=50, deadline=None)
+    def test_single_cluster_is_free(self, nbytes, rings):
+        model = PerfModel()
+        assert model._collective_seconds(nbytes, GridConfig(256, 1), rings) == 0.0
+
+    @given(grid=grids, nbytes=byte_counts)
+    @settings(max_examples=100, deadline=None)
+    def test_more_rings_never_slower(self, grid, nbytes):
+        model = PerfModel()
+        times = [model._collective_seconds(nbytes, grid, r) for r in (1, 2, 4)]
+        assert times == sorted(times, reverse=True)
+
+
+class TestTileSeconds:
+    # per-worker bytes as a multiple of (num_groups - 1) so the
+    # per-pair split inside _tile_seconds stays integral (the model
+    # ceils fractional per-pair bytes, which would break exact scaling).
+    @given(
+        grid=st.sampled_from([GridConfig(16, 16), GridConfig(4, 64)]),
+        per_pair=st.integers(min_value=1, max_value=10**6),
+        k=scale_factors,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bandwidth_term_linear_in_bytes(self, grid, per_pair, k):
+        model = PerfModel()
+        nbytes = per_pair * (grid.num_groups - 1)
+        latency = fbfly_avg_hops(grid.num_groups) * hop_latency_s()
+        base = model._tile_seconds(nbytes, grid) - latency
+        scaled = model._tile_seconds(k * nbytes, grid) - latency
+        assert scaled == pytest.approx(k * base, rel=REL)
+
+    @given(
+        grid=st.sampled_from([GridConfig(16, 16), GridConfig(4, 64)]),
+        per_pair=st.integers(min_value=1, max_value=10**6),
+        k=scale_factors,
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bandwidth_term_inverse_in_narrow_link_bandwidth(
+        self, grid, per_pair, k
+    ):
+        base_params = DEFAULT_PARAMS
+        fast_params = replace(
+            base_params,
+            narrow_link_bytes_per_s=k * base_params.narrow_link_bytes_per_s,
+        )
+        nbytes = per_pair * (grid.num_groups - 1)
+        latency = fbfly_avg_hops(grid.num_groups) * hop_latency_s()
+        base = PerfModel(base_params)._tile_seconds(nbytes, grid)
+        fast = PerfModel(fast_params)._tile_seconds(nbytes, grid)
+        assert fast - latency == pytest.approx((base - latency) / k, rel=REL)
+
+    @given(per_pair=st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=50, deadline=None)
+    def test_single_group_is_free(self, per_pair):
+        model = PerfModel()
+        assert model._tile_seconds(per_pair, GridConfig(1, 256)) == 0.0
+
+
+LAYER = ConvLayerSpec(
+    name="prop", in_channels=64, out_channels=64, height=56, width=56
+)
+
+
+class TestCommVolumeScaling:
+    @given(
+        config=st.sampled_from([w_dp(), w_mp()]),
+        grid=st.sampled_from([GridConfig(16, 16), GridConfig(4, 64)]),
+        batch=st.sampled_from([256, 512, 1024]),
+        k=st.sampled_from([2, 4]),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tile_bytes_linear_in_batch_weight_bytes_constant(
+        self, config, grid, batch, k
+    ):
+        base = layer_comm_volume(LAYER, batch, config, grid)
+        scaled = layer_comm_volume(LAYER, k * batch, config, grid)
+        assert scaled.tile_bytes == pytest.approx(k * base.tile_bytes, rel=REL)
+        assert scaled.weight_bytes == pytest.approx(base.weight_bytes, rel=REL)
+
+    @given(batch=st.sampled_from([256, 1024]))
+    @settings(max_examples=10, deadline=None)
+    def test_direct_dp_has_no_tile_traffic(self, batch):
+        config = SystemConfig(name="d_dp", conv="direct")
+        volume = layer_comm_volume(LAYER, batch, config, GridConfig(1, 256))
+        assert volume.tile_bytes == 0.0
+        assert volume.weight_bytes > 0.0

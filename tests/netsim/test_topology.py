@@ -9,7 +9,6 @@ from repro.netsim import (
     hybrid,
     ring,
 )
-from repro.params import DEFAULT_PARAMS
 
 
 class TestRing:

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import ReLU, Sequential, fractalnet_small, small_cnn
+from repro.nn import fractalnet_small, small_cnn
 
 
 class TestSequential:

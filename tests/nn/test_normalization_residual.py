@@ -104,7 +104,9 @@ class TestResidual:
 
     def test_parameters_enumerated(self):
         tr = make_transform(2, 3)
-        block = Residual(Sequential([WinogradConv2D(2, 2, tr)]))
+        block = Residual(
+            Sequential([WinogradConv2D(2, 2, tr, rng=np.random.default_rng(0))])
+        )
         assert len(list(block.parameters())) == 1
 
 

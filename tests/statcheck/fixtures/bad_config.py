@@ -1,0 +1,34 @@
+"""Deliberately broken: every CFG rule fires.
+
+Never imported; see README.md before editing (line numbers are load-
+bearing in test_fixtures.py).
+"""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TileConfig:
+    rows: int = 4  # line 12: CFG001 (no __post_init__ at all)
+    label: str = "tile"
+
+
+@dataclass
+class SweepConfig:
+    batches: int = 8
+    warmup_fraction: float = 0.1  # line 19: CFG001 (never read)
+
+    def __post_init__(self):
+        if self.batches < 1:
+            raise ValueError("batches must be >= 1")
+
+
+SWEEP_GRIDS = (
+    (16, 16),
+    (4, 63),  # line 28: CFG002 (252 workers, not 256)
+    (1, 256),
+)
+
+
+def plan():
+    return simulate(GridConfig(4, 64), workers=128)  # line 34: CFG002

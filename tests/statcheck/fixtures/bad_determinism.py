@@ -1,0 +1,40 @@
+"""Deliberately broken: every DET rule fires at least once.
+
+Never imported; see README.md before editing (line numbers are load-
+bearing in test_fixtures.py).
+"""
+
+import random
+
+import numpy as np
+
+
+def draw():
+    rng = np.random.default_rng()  # line 13: DET001 (unseeded)
+    return rng.standard_normal()
+
+
+def legacy():
+    return np.random.rand(3)  # line 18: DET001 (legacy global state)
+
+
+def pick(items):
+    return random.choice(items)  # line 22: DET001 (stdlib global state)
+
+
+def schedule(workers):
+    ready = set(workers)
+    for worker in ready:  # line 27: DET002 (set iteration)
+        worker.run()
+
+
+def coincide(event_a_seconds, event_b_seconds):
+    return event_a_seconds == event_b_seconds  # line 32: DET003
+
+
+def stable_key(obj):
+    return id(obj)  # line 36: DET004
+
+
+def make_rng(rng=None):
+    return rng or np.random.default_rng(0)  # line 40: DET005

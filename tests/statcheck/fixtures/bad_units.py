@@ -1,0 +1,22 @@
+"""Deliberately broken: every UNIT rule fires exactly once.
+
+Never imported; see README.md before editing (line numbers are load-
+bearing in test_fixtures.py).
+"""
+
+
+def total_seconds(compute_seconds, payload_bytes):
+    return compute_seconds + payload_bytes  # line 9: UNIT001 (byte + second)
+
+
+def transfer_seconds(payload_bytes, link_bytes_per_s):
+    return payload_bytes * link_bytes_per_s  # line 13: UNIT002 (byte^2/s)
+
+
+def record_latency(payload_bytes):
+    elapsed_seconds = payload_bytes  # line 17: UNIT003 (byte into *_seconds)
+    return elapsed_seconds
+
+
+def launch(job, payload_bytes):
+    job.start(timeout_seconds=payload_bytes)  # line 22: UNIT004

@@ -1,0 +1,106 @@
+"""The `python -m repro.statcheck` command-line front end."""
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.statcheck.cli import main
+
+CLEAN = "def f(a_bytes, b_bytes):\n    return a_bytes + b_bytes\n"
+DIRTY = "def f(a_bytes, b_seconds):\n    return a_bytes + b_seconds\n"
+
+
+def write(tmp_path, name, source):
+    path = tmp_path / name
+    path.write_text(source)
+    return str(path)
+
+
+class TestExitCodes:
+    def test_clean_file_exits_zero(self, tmp_path, capsys):
+        assert main([write(tmp_path, "clean.py", CLEAN)]) == 0
+        assert "statcheck: 0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        assert main([write(tmp_path, "dirty.py", DIRTY)]) == 1
+        out = capsys.readouterr().out
+        assert "UNIT001" in out
+        assert "dirty.py:2:" in out
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "absent.py")]) == 2
+        assert "no such path" in capsys.readouterr().err
+
+    def test_unknown_rule_id_exits_two(self, tmp_path, capsys):
+        assert main(["--select", "NOPE999", write(tmp_path, "c.py", CLEAN)]) == 2
+        assert "unknown rule ids" in capsys.readouterr().err
+
+    def test_syntax_error_reported_not_raised(self, tmp_path, capsys):
+        assert main([write(tmp_path, "broken.py", "def f(:\n")]) == 1
+        assert "SYNT001" in capsys.readouterr().out
+
+
+class TestSelection:
+    def test_select_filters_rules(self, tmp_path, capsys):
+        path = write(tmp_path, "dirty.py", DIRTY)
+        assert main(["--select", "DET004", path]) == 0
+        capsys.readouterr()
+        assert main(["--select", "UNIT001", path]) == 1
+
+    def test_ignore_drops_rules(self, tmp_path, capsys):
+        path = write(tmp_path, "dirty.py", DIRTY)
+        assert main(["--ignore", "UNIT001", path]) == 0
+
+    def test_directory_traversal(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        write(tmp_path, "pkg/one.py", CLEAN)
+        write(tmp_path, "pkg/two.py", DIRTY)
+        (tmp_path / "pkg" / "__pycache__").mkdir()
+        write(tmp_path, "pkg/__pycache__/junk.py", DIRTY)
+        assert main([str(tmp_path / "pkg")]) == 1
+        out = capsys.readouterr().out
+        assert "two.py" in out
+        assert "__pycache__" not in out
+        assert "statcheck: 1 finding" in out
+
+
+class TestJsonMode:
+    def test_json_document(self, tmp_path, capsys):
+        assert main(["--json", write(tmp_path, "dirty.py", DIRTY)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["count"] == 1
+        assert doc["findings"][0]["rule"] == "UNIT001"
+
+    def test_json_clean(self, tmp_path, capsys):
+        assert main(["--json", write(tmp_path, "clean.py", CLEAN)]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc == {"version": 1, "count": 0, "errors": 0, "findings": []}
+
+
+class TestListRules:
+    def test_catalogue_lists_every_family(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in (
+            "UNIT001", "UNIT002", "UNIT003", "UNIT004",
+            "DET001", "DET002", "DET003", "DET004", "DET005",
+            "CFG001", "CFG002",
+        ):
+            assert rule_id in out
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m(self, tmp_path):
+        """`python -m repro.statcheck` works as a subprocess (the form CI
+        and the benchmark harness invoke)."""
+        src_dir = Path(__file__).resolve().parents[2] / "src"
+        result = subprocess.run(
+            [sys.executable, "-m", "repro.statcheck", write(tmp_path, "d.py", DIRTY)],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": str(src_dir), "PATH": "/usr/bin:/bin"},
+        )
+        assert result.returncode == 1
+        assert "UNIT001" in result.stdout

@@ -1,0 +1,158 @@
+"""The CFG rule family on minimal sources."""
+
+import textwrap
+
+from repro.statcheck import check_source
+
+CFGS = ["CFG001", "CFG002"]
+
+
+def findings(source, select=CFGS):
+    return [
+        (f.rule, f.line)
+        for f in check_source(textwrap.dedent(source), select=select)
+    ]
+
+
+class TestConfigFieldValidation:
+    def test_missing_post_init(self):
+        assert findings(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunConfig:
+                workers: int = 4
+                label: str = "run"
+            """
+        ) == [("CFG001", 6)]
+
+    def test_field_never_read(self):
+        assert findings(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunConfig:
+                workers: int = 4
+                warmup: float = 0.1
+
+                def __post_init__(self):
+                    if self.workers < 1:
+                        raise ValueError("workers")
+            """
+        ) == [("CFG001", 7)]
+
+    def test_every_field_validated_is_quiet(self):
+        assert findings(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class RunConfig:
+                workers: int = 4
+                warmup: float = 0.1
+
+                def __post_init__(self):
+                    if self.workers < 1 or not 0 <= self.warmup <= 1:
+                        raise ValueError("bad config")
+            """
+        ) == []
+
+    def test_validation_through_helper_counts(self):
+        # __post_init__ reads steps_per_region, which reads levels and
+        # regions — the transitive closure must cover both fields.
+        assert findings(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class QuantConfig:
+                levels: int = 64
+                regions: int = 4
+
+                def __post_init__(self):
+                    if self.steps_per_region < 1:
+                        raise ValueError("bad")
+
+                @property
+                def steps_per_region(self):
+                    return (self.levels // 2) // self.regions
+            """
+        ) == []
+
+    def test_non_config_class_is_exempt(self):
+        assert findings(
+            """
+            from dataclasses import dataclass
+
+            @dataclass
+            class Sample:
+                weight: float = 1.0
+            """
+        ) == []
+
+    def test_plain_class_named_config_is_exempt(self):
+        assert findings(
+            """
+            class RunConfig:
+                workers: int = 4
+            """
+        ) == []
+
+
+class TestGridProductInvariant:
+    def test_inconsistent_grid_collection(self):
+        assert findings(
+            """
+            GRIDS = [(16, 16), (4, 64), (2, 100)]
+            """
+        ) == [("CFG002", 2)]
+
+    def test_paper_grids_are_quiet(self):
+        assert findings(
+            """
+            PAPER_GRIDS = ((16, 16), (4, 64), (1, 256))
+            """
+        ) == []
+
+    def test_non_grid_name_is_exempt(self):
+        assert findings(
+            """
+            SHAPES = ((16, 16), (4, 64), (2, 100))
+            """
+        ) == []
+
+    def test_grid_config_vs_workers_keyword(self):
+        assert findings(
+            """
+            def run(simulate):
+                return simulate(GridConfig(16, 16), workers=64)
+            """
+        ) == [("CFG002", 3)]
+
+    def test_matching_grid_and_workers_is_quiet(self):
+        assert findings(
+            """
+            def run(simulate):
+                return simulate(GridConfig(16, 16), workers=256)
+            """
+        ) == []
+
+    def test_keyword_grid_arguments(self):
+        assert findings(
+            """
+            plan = build(
+                grid=GridConfig(num_groups=4, num_clusters=64),
+                workers=256,
+            )
+            """
+        ) == []
+
+    def test_non_literal_grid_is_exempt(self):
+        assert findings(
+            """
+            def run(simulate, ng, nc):
+                return simulate(GridConfig(ng, nc), workers=64)
+            """
+        ) == []

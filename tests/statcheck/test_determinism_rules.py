@@ -1,0 +1,214 @@
+"""The DET rule family on minimal sources."""
+
+import textwrap
+
+from repro.statcheck import check_source
+
+DETS = ["DET001", "DET002", "DET003", "DET004", "DET005"]
+
+
+def findings(source, select=DETS):
+    return [
+        (f.rule, f.line)
+        for f in check_source(textwrap.dedent(source), select=select)
+    ]
+
+
+class TestUnseededRandom:
+    def test_unseeded_default_rng(self):
+        assert findings(
+            """
+            import numpy as np
+            rng = np.random.default_rng()
+            """
+        ) == [("DET001", 3)]
+
+    def test_seeded_default_rng_is_quiet(self):
+        assert findings(
+            """
+            import numpy as np
+            rng = np.random.default_rng(1234)
+            """
+        ) == []
+
+    def test_alias_resolution(self):
+        assert findings(
+            """
+            from numpy.random import default_rng
+            rng = default_rng()
+            """
+        ) == [("DET001", 3)]
+
+    def test_legacy_numpy_global_state(self):
+        assert findings(
+            """
+            import numpy as np
+            x = np.random.rand(3)
+            np.random.seed(0)
+            """
+        ) == [("DET001", 3), ("DET001", 4)]
+
+    def test_stdlib_random(self):
+        assert findings(
+            """
+            import random
+            x = random.random()
+            """
+        ) == [("DET001", 3)]
+
+    def test_generator_methods_are_quiet(self):
+        # Drawing from an explicit Generator object is the sanctioned way.
+        assert findings(
+            """
+            import numpy as np
+            rng = np.random.default_rng(7)
+            x = rng.standard_normal(4)
+            """
+        ) == []
+
+    def test_unrelated_random_attribute_is_quiet(self):
+        assert findings(
+            """
+            class Sampler:
+                def random(self):
+                    return 0.5
+
+            s = Sampler()
+            x = s.random()
+            """
+        ) == []
+
+
+class TestSetIteration:
+    def test_for_over_set_literal(self):
+        assert findings(
+            """
+            for item in {1, 2, 3}:
+                print(item)
+            """
+        ) == [("DET002", 2)]
+
+    def test_for_over_tracked_set_name(self):
+        assert findings(
+            """
+            ready = set(range(4))
+            for task in ready:
+                task()
+            """
+        ) == [("DET002", 3)]
+
+    def test_comprehension_over_set(self):
+        assert findings(
+            """
+            names = {"a", "b"}
+            order = [n for n in names]
+            """
+        ) == [("DET002", 3)]
+
+    def test_list_of_set_union(self):
+        assert findings(
+            """
+            a = {1}
+            b = {2}
+            order = list(a | b)
+            """
+        ) == [("DET002", 4)]
+
+    def test_sorted_set_is_quiet(self):
+        assert findings(
+            """
+            ready = {3, 1, 2}
+            for task in sorted(ready):
+                print(task)
+            """
+        ) == []
+
+    def test_rebound_name_is_forgotten(self):
+        assert findings(
+            """
+            items = {1, 2}
+            items = sorted(items)
+            for x in items:
+                print(x)
+            """
+        ) == []
+
+
+class TestFloatTimeEquality:
+    def test_equality_between_seconds(self):
+        assert findings(
+            """
+            def f(start_seconds, finish_seconds):
+                return start_seconds == finish_seconds
+            """
+        ) == [("DET003", 3)]
+
+    def test_ordering_comparison_is_fine(self):
+        assert findings(
+            """
+            def f(start_seconds, finish_seconds):
+                return start_seconds < finish_seconds
+            """
+        ) == []
+
+    def test_equality_with_unknown_side_is_quiet(self):
+        assert findings(
+            """
+            def f(start_seconds, sentinel):
+                return start_seconds == sentinel
+            """
+        ) == []
+
+
+class TestIdentityOrdering:
+    def test_id_call(self):
+        assert findings(
+            """
+            def key(layer):
+                return id(layer)
+            """
+        ) == [("DET004", 3)]
+
+    def test_method_named_id_is_quiet(self):
+        assert findings(
+            """
+            def key(layer):
+                return layer.id(3)
+            """
+        ) == []
+
+
+class TestConstantSeedFallback:
+    def test_or_fallback(self):
+        assert findings(
+            """
+            import numpy as np
+
+            def f(rng=None):
+                rng = rng or np.random.default_rng(0)
+                return rng
+            """
+        ) == [("DET005", 5)]
+
+    def test_ternary_fallback(self):
+        assert findings(
+            """
+            import numpy as np
+
+            def f(rng=None):
+                rng = rng if rng is not None else np.random.default_rng(42)
+                return rng
+            """
+        ) == [("DET005", 5)]
+
+    def test_explicit_seed_argument_is_quiet(self):
+        # Deriving the generator from a caller-chosen seed is fine: the
+        # streams are only shared if the caller shares seeds.
+        assert findings(
+            """
+            import numpy as np
+
+            def f(seed):
+                return np.random.default_rng(seed)
+            """
+        ) == []

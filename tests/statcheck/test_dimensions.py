@@ -1,0 +1,113 @@
+"""Unit tests for the statcheck dimension algebra."""
+
+from repro.statcheck.dimensions import (
+    DIMLESS,
+    SECONDS,
+    combine_add,
+    conflict,
+    div,
+    fmt,
+    make,
+    mul,
+    name_dim,
+    power,
+)
+
+BYTES = make(byte=1)
+HZ = make(cycle=1, second=-1)
+
+
+class TestAlgebra:
+    def test_make_sorts_and_drops_zero_exponents(self):
+        assert make(second=1, byte=0) == (("second", 1),)
+        assert make(second=-1, byte=2) == (("byte", 2), ("second", -1))
+
+    def test_mul_div_roundtrip(self):
+        rate = div(BYTES, SECONDS)
+        assert mul(rate, SECONDS) == BYTES
+        assert div(BYTES, rate) == SECONDS
+
+    def test_cycles_over_hz_is_seconds(self):
+        assert div(make(cycle=1), HZ) == SECONDS
+
+    def test_bytes_per_s_over_hz_is_bytes_per_cycle(self):
+        assert div(div(BYTES, SECONDS), HZ) == make(byte=1, cycle=-1)
+
+    def test_unknown_poisons_products(self):
+        assert mul(None, BYTES) is None
+        assert div(BYTES, None) is None
+
+    def test_power(self):
+        assert power(BYTES, 2) == (("byte", 2),)
+        assert power(BYTES, 0) == DIMLESS
+        assert power(None, 2) is None
+
+    def test_conflict_requires_two_known_unit_bearing_sides(self):
+        assert conflict(BYTES, SECONDS)
+        assert not conflict(BYTES, BYTES)
+        assert not conflict(BYTES, None)
+        assert not conflict(BYTES, DIMLESS)
+        assert not conflict(None, None)
+
+    def test_combine_add_unit_bearing_side_wins(self):
+        assert combine_add(SECONDS, SECONDS) == SECONDS
+        assert combine_add(SECONDS, DIMLESS) == SECONDS
+        assert combine_add(None, SECONDS) == SECONDS
+        assert combine_add(SECONDS, BYTES) is None
+
+    def test_fmt(self):
+        assert fmt(None) == "?"
+        assert fmt(DIMLESS) == "dimensionless"
+        assert fmt(div(BYTES, SECONDS)) == "byte/second"
+        assert fmt(make(second=-1)) == "1/second"
+
+
+class TestNameDim:
+    def test_simple_suffixes(self):
+        assert name_dim("payload_bytes") == BYTES
+        assert name_dim("elapsed_seconds") == SECONDS
+        assert name_dim("gemm_flops") == make(flop=1)
+        assert name_dim("fill_cycles") == make(cycle=1)
+        assert name_dim("mac_pj") == make(joule=1)
+
+    def test_scale_prefixes_collapse(self):
+        assert name_dim("latency_ms") == name_dim("latency_s")
+        assert name_dim("dram_energy_pj") == name_dim("dram_energy_j")
+        assert name_dim("slice_kb") == BYTES
+
+    def test_bit_shares_byte_dimension(self):
+        assert name_dim("payload_bits") == BYTES
+
+    def test_compound_per(self):
+        assert name_dim("link_bytes_per_s") == div(BYTES, SECONDS)
+        assert name_dim("peak_flops_per_s") == div(make(flop=1), SECONDS)
+
+    def test_unknown_numerator_poisons_compound(self):
+        # images/s must not degrade to 1/s: the numerator is unknown.
+        assert name_dim("images_per_s") is None
+
+    def test_hz_is_cycles_per_second(self):
+        assert name_dim("clock_hz") == HZ
+        assert name_dim("clock_ghz") == HZ
+
+    def test_bare_unit_words(self):
+        assert name_dim("BYTES") == BYTES
+        assert name_dim("cycle") == make(cycle=1)
+
+    def test_short_bare_names_stay_unknown(self):
+        # A loop variable `j` is not a joule; a scratch `ms` not seconds.
+        assert name_dim("j") is None
+        assert name_dim("ms") is None
+
+    def test_allow_bare_false_needs_multiple_tokens(self):
+        assert name_dim("bytes", allow_bare=False) is None
+        assert name_dim("slice_bytes", allow_bare=False) == BYTES
+
+    def test_overrides(self):
+        assert name_dim("full_link_idle_w") == make(joule=1, second=-1)
+        assert name_dim("narrow_link_idle_w") == make(joule=1, second=-1)
+
+    def test_no_suffix_is_unknown(self):
+        assert name_dim("batch") is None
+        assert name_dim("") is None
+        assert name_dim(None) is None

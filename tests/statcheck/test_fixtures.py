@@ -1,0 +1,43 @@
+"""The deliberately-broken fixtures produce exactly the expected
+rule IDs at exactly the expected lines — this pins both the rules'
+sensitivity and their source anchoring."""
+
+from pathlib import Path
+
+from repro.statcheck import check_file
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def rule_lines(name):
+    return [(f.rule, f.line) for f in check_file(FIXTURES / name)]
+
+
+def test_bad_units():
+    assert rule_lines("bad_units.py") == [
+        ("UNIT001", 9),
+        ("UNIT002", 13),
+        ("UNIT003", 17),
+        ("UNIT004", 22),
+    ]
+
+
+def test_bad_determinism():
+    assert rule_lines("bad_determinism.py") == [
+        ("DET001", 13),
+        ("DET001", 18),
+        ("DET001", 22),
+        ("DET002", 27),
+        ("DET003", 32),
+        ("DET004", 36),
+        ("DET005", 40),
+    ]
+
+
+def test_bad_config():
+    assert rule_lines("bad_config.py") == [
+        ("CFG001", 12),
+        ("CFG001", 19),
+        ("CFG002", 28),
+        ("CFG002", 34),
+    ]

@@ -1,0 +1,72 @@
+"""Finding model, sort order and the text/JSON reporters."""
+
+import json
+
+from repro.statcheck import Finding, Severity, render_json, render_text
+from repro.statcheck.findings import sort_findings
+
+
+def finding(rule="DET004", path="a.py", line=3, col=1, severity=Severity.ERROR):
+    return Finding(
+        rule=rule,
+        message=f"message for {rule}",
+        path=path,
+        line=line,
+        col=col,
+        severity=severity,
+    )
+
+
+class TestModel:
+    def test_location(self):
+        assert finding().location() == "a.py:3:1"
+
+    def test_to_dict(self):
+        data = finding().to_dict()
+        assert data == {
+            "rule": "DET004",
+            "message": "message for DET004",
+            "path": "a.py",
+            "line": 3,
+            "col": 1,
+            "severity": "error",
+        }
+
+    def test_sort_is_path_then_position(self):
+        unsorted = [
+            finding(path="b.py", line=1),
+            finding(path="a.py", line=9),
+            finding(path="a.py", line=2, col=5),
+            finding(path="a.py", line=2, col=0),
+        ]
+        ordered = sort_findings(unsorted)
+        assert [(f.path, f.line, f.col) for f in ordered] == [
+            ("a.py", 2, 0),
+            ("a.py", 2, 5),
+            ("a.py", 9, 1),
+            ("b.py", 1, 1),
+        ]
+
+
+class TestTextReport:
+    def test_row_format(self):
+        text = render_text([finding()])
+        assert "a.py:3:1: DET004 [error] message for DET004" in text
+        assert "statcheck: 1 finding" in text
+
+    def test_clean_summary(self):
+        assert render_text([]) == "statcheck: 0 findings"
+
+
+class TestJsonReport:
+    def test_document_shape(self):
+        doc = json.loads(render_json([finding(), finding(line=7)]))
+        assert doc["version"] == 1
+        assert doc["count"] == 2
+        assert doc["errors"] == 2
+        assert [f["line"] for f in doc["findings"]] == [3, 7]
+
+    def test_warning_not_counted_as_error(self):
+        doc = json.loads(render_json([finding(severity=Severity.WARNING)]))
+        assert doc["count"] == 1
+        assert doc["errors"] == 0

@@ -1,0 +1,100 @@
+"""Suppression pragmas: `# statcheck: ignore[...]` and ignore-file."""
+
+import textwrap
+
+from repro.statcheck import Finding, check_source
+from repro.statcheck.suppress import SuppressionIndex
+
+
+def rules(source, **kwargs):
+    return [f.rule for f in check_source(textwrap.dedent(source), **kwargs)]
+
+
+def at(rule, line):
+    return Finding(rule=rule, message="m", path="x.py", line=line, col=0)
+
+
+class TestPragmaParsing:
+    def test_same_line(self):
+        index = SuppressionIndex("x = id(y)  # statcheck: ignore[DET004]\n")
+        assert index.is_suppressed(at("DET004", 1))
+        assert not index.is_suppressed(at("DET001", 1))
+
+    def test_comment_line_covers_next_statement(self):
+        source = (
+            "# statcheck: ignore[DET004]\n"
+            "\n"
+            "x = id(y)\n"
+        )
+        index = SuppressionIndex(source)
+        assert index.is_suppressed(at("DET004", 3))
+
+    def test_wildcard(self):
+        index = SuppressionIndex("x = id(y)  # statcheck: ignore[*]\n")
+        assert index.is_suppressed(at("DET004", 1))
+        assert index.is_suppressed(at("UNIT001", 1))
+
+    def test_ignore_file(self):
+        index = SuppressionIndex("# statcheck: ignore-file[DET002]\nx = 1\n")
+        assert index.is_suppressed(at("DET002", 99))
+        assert not index.is_suppressed(at("DET001", 99))
+
+
+class TestEndToEnd:
+    def test_suppressed_finding_is_dropped(self):
+        assert rules(
+            """
+            def key(layer):
+                return id(layer)  # statcheck: ignore[DET004]
+            """
+        ) == []
+
+    def test_other_rules_still_fire(self):
+        assert rules(
+            """
+            import numpy as np
+
+            def f(layer):
+                rng = np.random.default_rng()
+                return id(layer)  # statcheck: ignore[DET004]
+            """
+        ) == ["DET001"]
+
+    def test_mismatched_rule_id_does_not_suppress(self):
+        assert rules(
+            """
+            def key(layer):
+                return id(layer)  # statcheck: ignore[DET001]
+            """
+        ) == ["DET004"]
+
+    def test_ignore_file_covers_everything(self):
+        assert rules(
+            """
+            # statcheck: ignore-file[DET004]
+
+            def key_a(layer):
+                return id(layer)
+
+            def key_b(layer):
+                return id(layer)
+            """
+        ) == []
+
+    def test_multiple_rules_in_one_pragma(self):
+        # The assignment raises both UNIT003 (bytes into a *_seconds
+        # name) and DET004 (the id() call); one pragma covers both.
+        assert rules(
+            """
+            # statcheck: ignore[UNIT003,DET004]
+            bad_seconds = size_bytes + id(layer)
+            """
+        ) == []
+
+    def test_partial_pragma_leaves_other_rule(self):
+        assert rules(
+            """
+            # statcheck: ignore[DET004]
+            bad_seconds = size_bytes + id(layer)
+            """
+        ) == ["UNIT003"]

@@ -1,0 +1,178 @@
+"""The UNIT rule family on minimal sources — positives and the
+conservative negatives that keep the lint quiet on real code."""
+
+import textwrap
+
+from repro.statcheck import check_source
+
+UNITS = ["UNIT001", "UNIT002", "UNIT003", "UNIT004"]
+
+
+def findings(source, select=UNITS):
+    return [
+        (f.rule, f.line)
+        for f in check_source(textwrap.dedent(source), select=select)
+    ]
+
+
+class TestMixedArithmetic:
+    def test_add_bytes_to_seconds(self):
+        assert findings(
+            """
+            def f(a_bytes, b_seconds):
+                return a_bytes + b_seconds
+            """
+        ) == [("UNIT001", 3)]
+
+    def test_compare_bytes_to_seconds(self):
+        assert findings(
+            """
+            def f(a_bytes, b_seconds):
+                return a_bytes < b_seconds
+            """
+        ) == [("UNIT001", 3)]
+
+    def test_augmented_add(self):
+        assert findings(
+            """
+            def f(total_seconds, extra_bytes):
+                total_seconds += extra_bytes
+                return total_seconds
+            """
+        ) == [("UNIT001", 3)]
+
+    def test_dimension_propagates_through_assignment(self):
+        assert findings(
+            """
+            def f(start_seconds, payload_bytes):
+                now = start_seconds
+                return now + payload_bytes
+            """
+        ) == [("UNIT001", 4)]
+
+    def test_division_chain_flagged_on_use(self):
+        # bytes / (bytes/s) is seconds; adding bytes to it must flag.
+        assert findings(
+            """
+            def f(size_bytes, bw_bytes_per_s):
+                wait = size_bytes / bw_bytes_per_s
+                return wait + size_bytes
+            """
+        ) == [("UNIT001", 4)]
+
+    def test_counts_mix_freely(self):
+        assert findings(
+            """
+            def f(size_bytes):
+                return size_bytes * 8 + 16
+            """
+        ) == []
+
+    def test_unknown_side_is_quiet(self):
+        assert findings(
+            """
+            def f(cost, hop_latency_s):
+                return cost + hop_latency_s
+            """
+        ) == []
+
+    def test_cycles_over_hz_is_seconds(self):
+        assert findings(
+            """
+            def f(gemm_cycles, clock_hz, tail_seconds):
+                return gemm_cycles / clock_hz + tail_seconds
+            """
+        ) == []
+
+    def test_rebinding_with_other_dimension_degrades(self):
+        # `scratch` is reused for a different dimension; the walker must
+        # forget the old binding instead of reporting a stale conflict.
+        assert findings(
+            """
+            def f(a_bytes, b_seconds):
+                scratch = a_bytes
+                scratch = b_seconds
+                return scratch + b_seconds
+            """
+        ) == []
+
+
+class TestReturnSuffix:
+    def test_wrong_product_dimension(self):
+        assert findings(
+            """
+            def link_seconds(size_bytes, bw_bytes_per_s):
+                return size_bytes * bw_bytes_per_s
+            """
+        ) == [("UNIT002", 3)]
+
+    def test_correct_division_is_quiet(self):
+        assert findings(
+            """
+            def link_seconds(size_bytes, bw_bytes_per_s):
+                return size_bytes / bw_bytes_per_s
+            """
+        ) == []
+
+    def test_single_token_function_name_is_exempt(self):
+        # A helper simply called `bits` is not claiming a dimension.
+        assert findings(
+            """
+            def bits(levels_count):
+                return levels_count
+            """
+        ) == []
+
+    def test_unknown_return_is_quiet(self):
+        assert findings(
+            """
+            def total_seconds(phases):
+                return phases.total
+            """
+        ) == []
+
+
+class TestAssignmentSuffix:
+    def test_wrong_dimension_into_suffixed_name(self):
+        assert findings(
+            """
+            def f(size_bytes, bw_bytes_per_s):
+                rate_bytes = size_bytes / bw_bytes_per_s
+                return rate_bytes
+            """
+        ) == [("UNIT003", 3)]
+
+    def test_attribute_target(self):
+        assert findings(
+            """
+            def f(obj, size_bytes):
+                obj.elapsed_seconds = size_bytes
+            """
+        ) == [("UNIT003", 3)]
+
+    def test_matching_assignment_is_quiet(self):
+        assert findings(
+            """
+            def f(size_bytes):
+                total_bytes = size_bytes * 2
+                return total_bytes
+            """
+        ) == []
+
+
+class TestKeywordSuffix:
+    def test_conflicting_keyword(self):
+        assert findings(
+            """
+            def f(run, size_bytes):
+                run(timeout_seconds=size_bytes)
+            """
+        ) == [("UNIT004", 3)]
+
+    def test_matching_keyword_is_quiet(self):
+        assert findings(
+            """
+            def f(run, size_bytes):
+                run(dram_bytes=size_bytes, workers=4)
+            """
+        ) == []
