@@ -137,6 +137,30 @@ def cmd_statcheck(args: argparse.Namespace) -> None:
     sys.exit(statcheck_main(argv))
 
 
+def cmd_bench(args: argparse.Namespace) -> None:
+    """Run the perf-regression benchmarks and write BENCH json."""
+    from pathlib import Path
+
+    from .perf import BENCHMARKS, run_benchmarks, write_bench_json
+    from .perf.bench import format_results
+
+    if args.list:
+        for name, fn in sorted(BENCHMARKS.items()):
+            doc = (fn.__doc__ or "").strip().splitlines()
+            print(f"{name:<20} {doc[0] if doc else ''}")
+        return
+    subset = None
+    if args.subset:
+        subset = [name.strip() for name in args.subset.split(",") if name.strip()]
+    try:
+        document = run_benchmarks(subset=subset, rounds=args.rounds)
+    except ValueError as exc:
+        sys.exit(str(exc))
+    print(format_results(document))
+    path = write_bench_json(document, Path(args.out))
+    print(f"\nwrote {path}")
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     """Regenerate every figure/table into one markdown report."""
     from .analysis.report import generate_report
@@ -183,6 +207,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_chk.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON report")
     p_chk.set_defaults(func=cmd_statcheck)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the perf-regression benchmarks, write BENCH json"
+    )
+    p_bench.add_argument(
+        "--subset",
+        help="comma-separated benchmark names (default: the whole registry)",
+    )
+    p_bench.add_argument("--rounds", type=int, default=3,
+                         help="rounds per benchmark; best wall time is kept")
+    p_bench.add_argument("-o", "--out", default="BENCH_PR2.json",
+                         help="output JSON path (schema 1)")
+    p_bench.add_argument("--list", action="store_true",
+                         help="list registered benchmarks and exit")
+    p_bench.set_defaults(func=cmd_bench)
 
     p_rep = sub.add_parser("report", help="write the full markdown report")
     p_rep.add_argument("-o", "--output", default="report.md")

@@ -20,6 +20,7 @@ tile transfer.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import List, Tuple
 
 from ..params import DEFAULT_PARAMS, HardwareParams
@@ -91,24 +92,33 @@ class SystemConfig:
             )
 
 
+# The Table IV constructors return interned singletons (the configs are
+# frozen): sweeps call them inside per-point loops, and a stable object
+# identity lets the sweep-cache key builder reuse the memoized canonical
+# form instead of re-walking the fields on every evaluation.
+@lru_cache(maxsize=None)
 def d_dp() -> SystemConfig:
     return SystemConfig(name="d_dp", conv="direct", collective_rings=4)
 
 
+@lru_cache(maxsize=None)
 def w_dp() -> SystemConfig:
     return SystemConfig(name="w_dp", conv="winograd", collective_rings=4)
 
 
+@lru_cache(maxsize=None)
 def w_mp() -> SystemConfig:
     return SystemConfig(
         name="w_mp", mpt=True, update_domain="winograd", collective_rings=2
     )
 
 
+@lru_cache(maxsize=None)
 def w_mp_plus() -> SystemConfig:
     return replace(w_mp(), name="w_mp+", prediction=True)
 
 
+@lru_cache(maxsize=None)
 def w_mp_plus_plus() -> SystemConfig:
     return replace(w_mp_plus(), name="w_mp++", dynamic_clustering=True)
 
@@ -118,7 +128,8 @@ def table4_configs() -> List[SystemConfig]:
     return [d_dp(), w_dp(), w_mp(), w_mp_plus(), w_mp_plus_plus()]
 
 
-def clustering_candidates(p: int, tile_elems: int) -> List[GridConfig]:
+@lru_cache(maxsize=None)
+def clustering_candidates(p: int, tile_elems: int) -> Tuple[GridConfig, ...]:
     """The dynamic-clustering configurations for ``p`` workers.
 
     The paper's three settings for p = 256 and a 4x4 tile are
@@ -137,7 +148,8 @@ def clustering_candidates(p: int, tile_elems: int) -> List[GridConfig]:
         ng *= 4
     if not candidates:
         candidates.append(GridConfig(num_groups=1, num_clusters=p))
-    return candidates
+    # Tuple: the result is cached and shared between callers.
+    return tuple(candidates)
 
 
 def default_grid(config: SystemConfig, p: int, tile_elems: int) -> GridConfig:

@@ -12,10 +12,12 @@ data movement (Section IV), so no switching penalty is charged.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional, Sequence
 
+from ..params import DEFAULT_PARAMS, HardwareParams
+from ..perf import memoize_sweep, phase
 from ..workloads.layers import ConvLayerSpec
-from .comm_model import transform_for
+from .comm_model import DEFAULT_FACTORS, TrafficFactors, transform_for
 from .config import GridConfig, SystemConfig, clustering_candidates, default_grid
 from .perf_model import LayerPerf, PerfModel
 
@@ -38,7 +40,7 @@ class ClusteringChoice:
 
 def candidate_grids(
     layer: ConvLayerSpec, config: SystemConfig, workers: int
-) -> List[GridConfig]:
+) -> Sequence[GridConfig]:
     """Valid grids for a layer: pure DP always; MPT splits limited by the
     tile element count of the transform the split would use."""
     if not config.mpt:
@@ -58,27 +60,55 @@ def choose_clustering(
 
     When the configuration has dynamic clustering disabled the fixed
     default grid is returned (still evaluated, for reporting).
+
+    The choice is memoized process-wide on the contents of
+    ``(layer, batch, config, workers)`` plus the model's params and
+    traffic factors — network sweeps re-optimise identical layers at
+    every worker count.  The returned :class:`ClusteringChoice` is
+    shared across equal calls and must be treated as read-only.
     """
     model = model or PerfModel()
-    if not config.dynamic_clustering:
-        multi_group = transform_for(
-            config, GridConfig(4, max(1, workers // 4)), layer.kernel
-        )
-        grid = default_grid(config, workers, multi_group.tile**2)
-        perf = model.evaluate_layer(layer, batch, config, grid)
-        return ClusteringChoice(layer=layer, chosen=grid, evaluations={grid: perf})
+    return _choose_clustering_cached(
+        layer, batch, config, workers, model.params, model.factors
+    )
 
-    evaluations: Dict[GridConfig, LayerPerf] = {}
-    best: Optional[GridConfig] = None
-    best_time = float("inf")
-    for grid in candidate_grids(layer, config, workers):
-        perf = model.evaluate_layer(layer, batch, config, grid)
-        evaluations[grid] = perf
-        if perf.total_s < best_time:
-            best_time = perf.total_s
-            best = grid
-    assert best is not None
-    return ClusteringChoice(layer=layer, chosen=best, evaluations=evaluations)
+
+@memoize_sweep
+def _choose_clustering_cached(
+    layer: ConvLayerSpec,
+    batch: int,
+    config: SystemConfig,
+    workers: int,
+    params: HardwareParams = DEFAULT_PARAMS,
+    factors: TrafficFactors = DEFAULT_FACTORS,
+) -> ClusteringChoice:
+    model = PerfModel(params=params, factors=factors)
+    # Call the model implementation directly: this function's own cache
+    # already keys on (layer, batch, config, workers, params, factors),
+    # so routing per-grid evaluations through ``evaluate_layer_cached``
+    # would only rebuild content keys that can never hit here.
+    with phase("model"):
+        if not config.dynamic_clustering:
+            multi_group = transform_for(
+                config, GridConfig(4, max(1, workers // 4)), layer.kernel
+            )
+            grid = default_grid(config, workers, multi_group.tile**2)
+            perf = model._evaluate_layer_impl(layer, batch, config, grid, None)
+            return ClusteringChoice(
+                layer=layer, chosen=grid, evaluations={grid: perf}
+            )
+
+        evaluations: Dict[GridConfig, LayerPerf] = {}
+        best: Optional[GridConfig] = None
+        best_time = float("inf")
+        for grid in candidate_grids(layer, config, workers):
+            perf = model._evaluate_layer_impl(layer, batch, config, grid, None)
+            evaluations[grid] = perf
+            if perf.total_s < best_time:
+                best_time = perf.total_s
+                best = grid
+        assert best is not None
+        return ClusteringChoice(layer=layer, chosen=best, evaluations=evaluations)
 
 
 def choose_clustering_and_transform(

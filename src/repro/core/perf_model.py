@@ -16,10 +16,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from dataclasses import fields as dataclass_fields
 from typing import Dict, Optional
 
 from ..ndp.energy import EnergyBreakdown, EnergyModel
 from ..ndp.systolic import batched_gemm_cycles
+from ..perf import memoize_sweep, phase, register_canonical
 from ..netsim.collectives import (
     all_to_all_time,
     fbfly_injection_rate,
@@ -179,7 +181,25 @@ class PerfModel:
 
         ``transform`` overrides the default transform rule (transform
         search extension); ignored for direct convolution.
+
+        Results are memoized process-wide on the *contents* of every
+        argument (plus this model's params and traffic factors) — the
+        figure sweeps re-evaluate identical points thousands of times.
+        The returned :class:`LayerPerf` is shared across equal calls and
+        must be treated as read-only.
         """
+        return evaluate_layer_cached(
+            layer, batch, config, grid, transform, self.params, self.factors
+        )
+
+    def _evaluate_layer_impl(
+        self,
+        layer: ConvLayerSpec,
+        batch: int,
+        config: SystemConfig,
+        grid: GridConfig,
+        transform: Optional[WinogradTransform],
+    ) -> LayerPerf:
         if batch % grid.num_clusters:
             batch_per_cluster = batch / grid.num_clusters
         else:
@@ -388,6 +408,47 @@ class PerfModel:
         )
         perf.phases["update"] = update
         return perf
+
+
+# ``WinogradTransform``'s exact-Fraction matrices are fully determined
+# by ``(m, r)`` (always built by ``make_transform`` with the default
+# interpolation points), so the content key collapses to those two ints
+# instead of recursing through ~T^2 Fractions per call.
+register_canonical(WinogradTransform, lambda t: (t.m, t.r))
+
+# A layer's ``name`` is display-only — the model reads shapes and
+# channel counts.  Dropping it from the content key lets same-shape
+# layers (e.g. the repeated VGG blocks) share one evaluation.
+register_canonical(
+    ConvLayerSpec,
+    lambda layer: tuple(
+        (f.name, getattr(layer, f.name))
+        for f in dataclass_fields(layer)
+        if f.name != "name"
+    ),
+)
+
+
+@memoize_sweep
+def evaluate_layer_cached(
+    layer: ConvLayerSpec,
+    batch: int,
+    config: SystemConfig,
+    grid: GridConfig,
+    transform: Optional[WinogradTransform] = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    factors: TrafficFactors = DEFAULT_FACTORS,
+) -> LayerPerf:
+    """Content-keyed, process-wide cache in front of the perf model.
+
+    :meth:`PerfModel.evaluate_layer` routes every evaluation through
+    here; the wrapper's ``cache`` attribute is what the benchmark runner
+    clears and reports (see ``repro.perf.bench``).  The body only runs
+    on a cache miss, so the ``model`` phase attributes pure model time.
+    """
+    with phase("model"):
+        model = PerfModel(params=params, factors=factors)
+        return model._evaluate_layer_impl(layer, batch, config, grid, transform)
 
 
 def powered_links(config: SystemConfig, grid: GridConfig) -> tuple[int, int]:

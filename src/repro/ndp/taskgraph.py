@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 
-@dataclass
+@dataclass(slots=True)
 class Task:
     """One schedulable computation block.
 
@@ -96,7 +96,7 @@ class TaskGraph:
         return order
 
 
-@dataclass
+@dataclass(slots=True)
 class ScheduleEntry:
     """When and where a task ran."""
 
@@ -120,23 +120,29 @@ class TaskExecutor:
 
     def run(self) -> float:
         """Execute the whole graph; returns the makespan in seconds."""
-        order = self.graph.validate_acyclic()
+        # ``TaskGraph.add`` rejects deps that are not already inserted,
+        # so insertion order is topological by construction and cycles
+        # cannot exist — no DFS pass needed here.
         finish: Dict[str, float] = {}
         resource_free: Dict[str, float] = {}
-        # List scheduling over the topological order: since `order` is
-        # topological, each task's dependencies already have finish times
-        # when we reach it, and tasks serialise FIFO per resource.
-        for name in order:
-            task = self.graph.tasks[name]
-            dep_ready = max((finish[d] for d in task.deps), default=0.0)
-            start = max(dep_ready, resource_free.get(task.resource, 0.0))
+        update_counter = self.graph.update_counter
+        schedule = self.schedule
+        # List scheduling over the topological order: each task's
+        # dependencies already have finish times when we reach it, and
+        # tasks serialise FIFO per resource.
+        for name, task in self.graph.tasks.items():
+            start = resource_free.get(task.resource, 0.0)
+            for dep in task.deps:
+                dep_finish = finish[dep]
+                if dep_finish > start:
+                    start = dep_finish
             end = start + task.duration_s
             finish[name] = end
             resource_free[task.resource] = end
             if task.body is not None:
                 task.body()
-            self.graph.update_counter[name] += 1
-            self.schedule.append(
+            update_counter[name] += 1
+            schedule.append(
                 ScheduleEntry(name=name, resource=task.resource,
                               start_s=start, finish_s=end)
             )

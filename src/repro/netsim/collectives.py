@@ -31,6 +31,36 @@ class CollectiveResult:
     messages: int
 
 
+class _Collector:
+    """Per-run delivery accumulator shared by every completion callback.
+
+    A slotted instance instead of a captured ``dict`` so the per-message
+    callback does attribute bumps, not string-keyed dictionary mutation —
+    these callbacks fire once per delivered message on the netsim hot
+    path.
+    """
+
+    __slots__ = ("messages", "bytes", "finish")
+
+    def __init__(self, start_time: float) -> None:
+        self.messages = 0
+        self.bytes = 0.0
+        self.finish = start_time
+
+    def delivered(self, msg: Message, time: float) -> None:
+        self.messages += 1
+        self.bytes += msg.size_bytes
+        if time > self.finish:
+            self.finish = time
+
+    def result(self) -> CollectiveResult:
+        return CollectiveResult(
+            finish_time_s=self.finish,
+            total_bytes_on_wire=self.bytes,
+            messages=self.messages,
+        )
+
+
 def ring_allreduce(
     sim: NetworkSimulator,
     nodes: Sequence[int],
@@ -49,19 +79,20 @@ def ring_allreduce(
         return CollectiveResult(finish_time_s=start_time, total_bytes_on_wire=0.0, messages=0)
     slice_bytes = max(1, message_bytes // n)
     total_steps = 2 * (n - 1)
-    stats = {"messages": 0, "bytes": 0.0, "finish": start_time}
+    collector = _Collector(start_time)
 
     def send_step(position: int, slice_id: int, step: int, when: float) -> None:
         """Node at ring `position` forwards `slice_id` for `step`."""
         if step >= total_steps:
-            stats["finish"] = max(stats["finish"], when)
+            if when > collector.finish:
+                collector.finish = when
             return
         src = nodes[position]
         dst = nodes[(position + 1) % n]
 
-        def delivered(_msg: Message, time: float) -> None:
-            stats["messages"] += 1
-            stats["bytes"] += slice_bytes
+        def delivered(msg: Message, time: float) -> None:
+            collector.messages += 1
+            collector.bytes += msg.size_bytes
             send_step((position + 1) % n, slice_id, step + 1, time)
 
         sim.send(
@@ -74,11 +105,7 @@ def ring_allreduce(
     for slice_id in range(n):
         send_step(slice_id, slice_id, 0, start_time)
     sim.run()
-    return CollectiveResult(
-        finish_time_s=stats["finish"],
-        total_bytes_on_wire=stats["bytes"],
-        messages=stats["messages"],
-    )
+    return collector.result()
 
 
 def all_to_all(
@@ -89,13 +116,9 @@ def all_to_all(
 ) -> CollectiveResult:
     """Every node sends ``bytes_per_pair`` to every other node (tile
     gather/scatter traffic within a cluster)."""
-    stats = {"messages": 0, "bytes": 0.0, "finish": start_time}
-
-    def delivered(msg: Message, time: float) -> None:
-        stats["messages"] += 1
-        stats["bytes"] += msg.size_bytes
-        stats["finish"] = max(stats["finish"], time)
-
+    # One bound method shared by every pair — no per-message closure.
+    collector = _Collector(start_time)
+    delivered = collector.delivered
     for src in nodes:
         for dst in nodes:
             if src == dst:
@@ -106,11 +129,7 @@ def all_to_all(
                 start_time=start_time,
             )
     sim.run()
-    return CollectiveResult(
-        finish_time_s=stats["finish"],
-        total_bytes_on_wire=stats["bytes"],
-        messages=stats["messages"],
-    )
+    return collector.result()
 
 
 # ---- analytic cross-checks ---------------------------------------------------

@@ -1,0 +1,59 @@
+"""Cross-cutting performance layer: sweep memoization, wall-time
+attribution and the perf-regression benchmark runner.
+
+Three pieces, used together by the figure/ablation sweeps:
+
+* :mod:`repro.perf.memoize` — a content-hash keyed cache for pure
+  evaluations over (frozen) config dataclasses, so repeated
+  ``(layer, grid, batch)`` points in a sweep are computed once per
+  process (and optionally persisted to disk).
+* :mod:`repro.perf.profiler` — a zero-dependency ``Timer`` plus a
+  global phase/counter registry that benchmarks use to attribute wall
+  time to kernel / netsim / model phases.
+* :mod:`repro.perf.bench` — ``python -m repro bench``: runs the
+  benchmark suite (or a named subset), records wall clock plus the
+  profiling breakdown, and writes the ``BENCH_PR<k>.json`` perf
+  trajectory file future PRs regress against.
+"""
+
+from .bench import (
+    BENCHMARKS,
+    collect_machine_info,
+    run_benchmarks,
+    write_bench_json,
+)
+from .memoize import (
+    SweepCache,
+    canonicalize,
+    memoize_sweep,
+    register_canonical,
+    sweep_key,
+)
+from .profiler import (
+    Timer,
+    counter_add,
+    phase,
+    profiling_disabled,
+    profiling_enabled,
+    reset_profile,
+    snapshot_profile,
+)
+
+__all__ = [
+    "BENCHMARKS",
+    "SweepCache",
+    "Timer",
+    "canonicalize",
+    "collect_machine_info",
+    "counter_add",
+    "memoize_sweep",
+    "phase",
+    "profiling_disabled",
+    "profiling_enabled",
+    "register_canonical",
+    "reset_profile",
+    "run_benchmarks",
+    "snapshot_profile",
+    "sweep_key",
+    "write_bench_json",
+]

@@ -1,0 +1,262 @@
+"""Perf-regression benchmark runner: ``python -m repro bench``.
+
+Runs a registry of benchmark callables (figure sweeps plus kernel and
+netsim micro-benchmarks), records wall clock per benchmark together
+with the profiler's phase breakdown and the sweep-cache statistics, and
+writes the result as ``BENCH_PR<k>.json`` — the perf trajectory file
+this repository's future PRs regress against.
+
+Conventions of the JSON format (schema 1):
+
+* ``benchmarks.<name>.wall_s`` — best wall time over ``rounds`` runs.
+* ``benchmarks.<name>.cold_s`` — the first round's wall time.
+* ``benchmarks.<name>.rounds_s`` — every round, in run order.
+* ``benchmarks.<name>.phases`` — inclusive seconds per instrumented
+  phase (``kernel`` / ``netsim`` / ``model``), from the best round.
+* ``benchmarks.<name>.cache`` — sweep-cache hits/misses of that round.
+* The sweep caches are cleared once per *benchmark*, before its first
+  round: ``cold_s`` is what a fresh process pays (intra-sweep
+  memoization only), while ``wall_s`` measures the steady state of a
+  long-lived process — sweep points are computed once per process, so
+  repeated figure regeneration runs against warm caches.
+
+``benchmarks/conftest.py`` funnels pytest-benchmark timings through
+:func:`write_bench_json` as well, so there is exactly one on-disk
+format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, List, Optional
+
+from .profiler import (
+    profiling_disabled,
+    profiling_enabled,
+    reset_profile,
+    snapshot_profile,
+)
+
+SCHEMA_VERSION = 1
+
+
+# ---- benchmark registry -----------------------------------------------------
+#
+# Each entry is a zero-argument callable; imports stay inside the
+# callables so ``repro.perf`` never imports the heavier packages at
+# module load (and so repro.core can import repro.perf without cycles).
+
+
+def _bench_fig7() -> None:
+    """Fig. 7 sweep: communication scaling across worker counts."""
+    from ..analysis import fig07_rows
+
+    fig07_rows()
+
+
+def _bench_fig15() -> None:
+    """Fig. 15 sweep: layer-wise speedups, 5 layers x 6 configurations."""
+    from ..analysis import fig15_rows
+
+    fig15_rows()
+
+
+def _bench_fig16() -> None:
+    """Fig. 16 sweep: weight-size scaling study."""
+    from ..analysis import fig16_rows
+
+    fig16_rows()
+
+
+def _bench_fig17() -> None:
+    """Fig. 17 sweep: full-CNN scaling, 3 networks x 11 settings."""
+    from ..analysis import fig17_rows
+
+    fig17_rows()
+
+
+def _bench_winograd_kernels() -> None:
+    """Forward + backward of a mid-sized Winograd layer (numeric path)."""
+    import numpy as np
+
+    from ..winograd import make_transform
+    from ..winograd.conv import winograd_backward, winograd_forward
+
+    transform = make_transform(4, 3)
+    rng = np.random.default_rng(0)
+    x = rng.standard_normal((8, 32, 28, 28))
+    weights = rng.standard_normal((32, 32, transform.tile, transform.tile))
+    y, cache = winograd_forward(x, weights, transform, pad=1)
+    winograd_backward(rng.standard_normal(y.shape), weights, transform, cache)
+
+
+def _bench_netsim_allreduce() -> None:
+    """Event-engine ring all-reduce, 16 nodes x 500 kB."""
+    from ..netsim import NetworkSimulator, ring, ring_allreduce
+    from ..params import DEFAULT_PARAMS
+
+    sim = NetworkSimulator(
+        ring(16), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+    )
+    ring_allreduce(sim, list(range(16)), 500_000)
+
+
+def _bench_netsim_all_to_all() -> None:
+    """Event-engine all-to-all on a 4x4 FBFLY cluster, 10 kB per pair."""
+    from ..netsim import NetworkSimulator, all_to_all, flattened_butterfly_2d
+
+    sim = NetworkSimulator(flattened_butterfly_2d(4, 4))
+    all_to_all(sim, list(range(16)), 10_000)
+
+
+BENCHMARKS: Dict[str, Callable[[], None]] = {
+    "fig7": _bench_fig7,
+    "fig15": _bench_fig15,
+    "fig16": _bench_fig16,
+    "fig17": _bench_fig17,
+    "winograd_kernels": _bench_winograd_kernels,
+    "netsim_allreduce": _bench_netsim_allreduce,
+    "netsim_all_to_all": _bench_netsim_all_to_all,
+}
+
+
+# ---- machine stamp ----------------------------------------------------------
+
+
+def collect_machine_info() -> Dict:
+    """Machine + lint state stamp tying perf numbers to their context."""
+    info: Dict = {
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+    try:
+        import numpy
+
+        info["numpy"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dep in practice
+        pass
+    try:
+        from ..statcheck import check_paths
+
+        src = Path(__file__).resolve().parents[1]
+        findings = check_paths([src])
+        info["statcheck_findings"] = len(findings)
+        info["statcheck_errors"] = sum(
+            1 for f in findings if f.severity.value == "error"
+        )
+    except Exception:  # pragma: no cover - lint state is best-effort
+        pass
+    return info
+
+
+# ---- runner -----------------------------------------------------------------
+
+
+def _sweep_caches() -> List:
+    """Every registered process-wide sweep cache (for cold-start resets
+    and hit/miss reporting)."""
+    from ..core import dynamic_clustering, perf_model
+
+    return [
+        perf_model.evaluate_layer_cached.cache,
+        dynamic_clustering._choose_clustering_cached.cache,
+    ]
+
+
+def run_benchmarks(
+    subset: Optional[List[str]] = None,
+    rounds: int = 3,
+) -> Dict:
+    """Run benchmarks and return the schema-1 result document."""
+    names = list(BENCHMARKS) if not subset else list(subset)
+    unknown = [n for n in names if n not in BENCHMARKS]
+    if unknown:
+        raise ValueError(
+            f"unknown benchmarks {unknown}; choose from {sorted(BENCHMARKS)}"
+        )
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    caches = _sweep_caches()
+    results: Dict[str, Dict] = {}
+    profiling_enabled()
+    try:
+        for name in names:
+            fn = BENCHMARKS[name]
+            rounds_s: List[float] = []
+            best_s = float("inf")
+            best_profile: Dict = {}
+            best_cache: Dict = {}
+            # Cold start per benchmark; later rounds run warm (see the
+            # module docstring for the cold_s / wall_s convention).
+            for cache in caches:
+                cache.clear()
+            for _ in range(rounds):
+                reset_profile()
+                hits_before = sum(c.hits for c in caches)
+                misses_before = sum(c.misses for c in caches)
+                start = time.perf_counter()
+                fn()
+                elapsed = time.perf_counter() - start
+                rounds_s.append(elapsed)
+                if elapsed < best_s:
+                    best_s = elapsed
+                    best_profile = snapshot_profile()
+                    best_cache = {
+                        "hits": sum(c.hits for c in caches) - hits_before,
+                        "misses": sum(c.misses for c in caches) - misses_before,
+                    }
+            results[name] = {
+                "wall_s": best_s,
+                "cold_s": rounds_s[0],
+                "rounds_s": rounds_s,
+                "phases": {
+                    phase_name: data["seconds"]
+                    for phase_name, data in best_profile.get("phases", {}).items()
+                },
+                "counters": best_profile.get("counters", {}),
+                "cache": best_cache,
+            }
+    finally:
+        profiling_disabled()
+        reset_profile()
+    return {
+        "schema": SCHEMA_VERSION,
+        "machine": collect_machine_info(),
+        "benchmarks": results,
+    }
+
+
+def write_bench_json(document: Dict, path: Path) -> Path:
+    """Write a schema-1 benchmark document (stamping schema/machine if
+    the caller provided bare benchmark entries)."""
+    if "benchmarks" not in document:
+        document = {"benchmarks": document}
+    document.setdefault("schema", SCHEMA_VERSION)
+    document.setdefault("machine", collect_machine_info())
+    path = Path(path)
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def format_results(document: Dict) -> str:
+    """Human-readable table of a result document."""
+    lines = [f"{'benchmark':<20} {'wall_s':>10}  phase breakdown"]
+    for name, entry in document["benchmarks"].items():
+        phases = entry.get("phases", {})
+        breakdown = ", ".join(
+            f"{phase_name}={seconds:.4f}s" for phase_name, seconds in phases.items()
+        )
+        cache = entry.get("cache") or {}
+        if cache.get("hits") or cache.get("misses"):
+            breakdown += (
+                f"  [cache {cache.get('hits', 0)} hits"
+                f" / {cache.get('misses', 0)} misses]"
+            )
+        lines.append(f"{name:<20} {entry['wall_s']:>10.4f}  {breakdown}")
+    return "\n".join(lines)

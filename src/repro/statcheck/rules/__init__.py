@@ -3,6 +3,6 @@ with the engine (each module uses the ``@register`` decorator)."""
 
 from __future__ import annotations
 
-from . import config_rules, determinism, units  # noqa: F401
+from . import config_rules, determinism, perf_rules, units  # noqa: F401
 
-__all__ = ["config_rules", "determinism", "units"]
+__all__ = ["config_rules", "determinism", "perf_rules", "units"]

@@ -1,0 +1,87 @@
+"""Performance lint (``PERF001``).
+
+The Winograd kernels and the performance model sit on every sweep's hot
+path, and PR 2 vectorized their per-tile-element work: the ``T x T``
+Winograd-domain GEMMs run as one batched einsum, not ``T**2`` separate
+Python iterations.  This rule keeps that invariant — a Python-level
+``for`` loop over ``range(T*T)`` (or any ``x**2`` / ``x*x`` element
+count) in ``repro.winograd`` or ``repro.core`` reintroduces exactly the
+interpreter overhead the vectorization removed.
+
+Deliberate scalar implementations (the golden-reference kernels) opt
+out per file with ``# statcheck: ignore-file[PERF001]``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator, Optional
+
+from ..engine import Context, Rule, register
+
+#: Packages whose Python-level tile-element loops are hot-path bugs.
+_HOT_PACKAGES = ("winograd", "core")
+
+
+def _squared_operand(node: ast.expr) -> Optional[str]:
+    """The source text of ``x`` if ``node`` is ``x**2`` or ``x*x``."""
+    if not isinstance(node, ast.BinOp):
+        return None
+    if (
+        isinstance(node.op, ast.Pow)
+        and isinstance(node.right, ast.Constant)
+        and node.right.value == 2
+    ):
+        return ast.unparse(node.left)
+    if isinstance(node.op, ast.Mult) and ast.dump(node.left) == ast.dump(
+        node.right
+    ):
+        return ast.unparse(node.left)
+    return None
+
+
+def _range_call(node: ast.expr) -> Optional[ast.Call]:
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "range"
+    ):
+        return node
+    return None
+
+
+@register
+class TileElementLoop(Rule):
+    id = "PERF001"
+    name = "python-loop-over-tile-elements"
+    description = (
+        "Python-level `for` loop over range(T*T) / tile**2 elements in "
+        "repro.winograd or repro.core; the T x T Winograd-domain work "
+        "must stay batched (einsum / stride tricks), not per-element."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        parts = Path(ctx.path).parts
+        if not any(pkg in parts for pkg in _HOT_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.For, ast.comprehension)):
+                continue
+            call = _range_call(node.iter)
+            if call is None or not call.args:
+                continue
+            # range(n), range(start, n) — the loop count is the last
+            # positional bound that could be a squared element count.
+            for arg in call.args[:2]:
+                squared = _squared_operand(arg)
+                if squared is not None:
+                    yield ctx.finding(
+                        self,
+                        node if isinstance(node, ast.For) else node.iter,
+                        f"Python loop over range({ast.unparse(arg)}) "
+                        f"iterates all {squared}^2 tile elements; batch "
+                        "the per-element work (einsum over the tile axis "
+                        "or stride tricks) instead",
+                    )
+                    break

@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from fractions import Fraction
-from functools import lru_cache
+from functools import cached_property, lru_cache
 from typing import List, Sequence
 
 import numpy as np
@@ -144,15 +144,20 @@ class WinogradTransform:
     def tile(self) -> int:
         return self.m + self.r - 1
 
-    @property
+    # The float views are cached per transform instance: the exact
+    # Fraction -> float conversion is pure, and re-running it on every
+    # transform application dominated kernel time in profiles.
+    # ``cached_property`` writes straight into ``__dict__``, which a
+    # frozen dataclass permits (only ``__setattr__`` is blocked).
+    @cached_property
     def B(self) -> np.ndarray:
         return _to_float(self.B_exact)
 
-    @property
+    @cached_property
     def G(self) -> np.ndarray:
         return _to_float(self.G_exact)
 
-    @property
+    @cached_property
     def A(self) -> np.ndarray:
         return _to_float(self.A_exact)
 

@@ -1,0 +1,161 @@
+"""Loop-level reference implementations of the Winograd hot paths.
+
+These spell out the paper's per-element formulation — ``T^2``
+independent matrix products (Equation 2) and per-tile extraction /
+assembly — exactly as written, one tile element or one tile per Python
+step.  The production kernels in :mod:`repro.winograd.conv` and
+:mod:`repro.winograd.tiling` compute the same quantities with single
+batched ``matmul``/stride-tricks calls; the golden-equivalence tests in
+``tests/winograd/test_golden_equivalence.py`` pin the two against each
+other across odd shapes, so any future de-vectorization or indexing
+regression is caught by a direct numeric diff.
+
+Nothing here is exported through the package ``__init__``: these exist
+for validation and for readers who want the paper's notation verbatim,
+not for use in sweeps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tiling import TileGrid, _padded_canvas
+
+
+def elementwise_matmul_reference(
+    tiles: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """Equation 2 as the literal loop over the ``T^2`` tile elements:
+    ``Y(u,v) = X(u,v) @ W(u,v)`` for each ``(u, v)``."""
+    batch, in_ch, tiles_h, tiles_w, t, _ = tiles.shape
+    out_ch = weights.shape[0]
+    out = np.zeros(
+        (batch, out_ch, tiles_h, tiles_w, t, t),
+        dtype=np.result_type(tiles.dtype, weights.dtype),
+    )
+    for u in range(t):
+        for v in range(t):
+            x_uv = tiles[:, :, :, :, u, v]  # (B, I, th, tw)
+            w_uv = weights[:, :, u, v]  # (J, I)
+            out[:, :, :, :, u, v] = np.tensordot(
+                x_uv, w_uv, axes=([1], [1])
+            ).transpose(0, 3, 1, 2)
+    return out
+
+
+def elementwise_matmul_transposed_reference(
+    tiles_grad: np.ndarray, weights: np.ndarray
+) -> np.ndarray:
+    """``dX(u,v) = dY(u,v) @ W(u,v)^T`` per tile element."""
+    batch, out_ch, tiles_h, tiles_w, t, _ = tiles_grad.shape
+    in_ch = weights.shape[1]
+    out = np.zeros(
+        (batch, in_ch, tiles_h, tiles_w, t, t),
+        dtype=np.result_type(tiles_grad.dtype, weights.dtype),
+    )
+    for u in range(t):
+        for v in range(t):
+            dy_uv = tiles_grad[:, :, :, :, u, v]  # (B, J, th, tw)
+            w_uv = weights[:, :, u, v]  # (J, I)
+            out[:, :, :, :, u, v] = np.tensordot(
+                dy_uv, w_uv, axes=([1], [0])
+            ).transpose(0, 3, 1, 2)
+    return out
+
+
+def elementwise_weight_grad_reference(
+    tiles: np.ndarray, tiles_grad: np.ndarray
+) -> np.ndarray:
+    """``dW(u,v) = X(u,v)^T @ dY(u,v)`` summed over batch and tiles,
+    per tile element."""
+    t = tiles.shape[-1]
+    in_ch = tiles.shape[1]
+    out_ch = tiles_grad.shape[1]
+    grad = np.zeros(
+        (out_ch, in_ch, t, t),
+        dtype=np.result_type(tiles.dtype, tiles_grad.dtype),
+    )
+    for u in range(t):
+        for v in range(t):
+            x_uv = tiles[:, :, :, :, u, v]  # (B, I, th, tw)
+            dy_uv = tiles_grad[:, :, :, :, u, v]  # (B, J, th, tw)
+            grad[:, :, u, v] = np.tensordot(
+                x_uv, dy_uv, axes=([0, 2, 3], [0, 2, 3])
+            ).T
+    return grad
+
+
+def extract_tiles_reference(x: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Per-tile copy loop matching :func:`repro.winograd.tiling.extract_tiles`."""
+    if x.shape[2] != grid.height or x.shape[3] != grid.width:
+        raise ValueError(f"input shape {x.shape} does not match grid {grid}")
+    canvas = _padded_canvas(x, grid)
+    t, m = grid.tile, grid.m
+    batch, channels = x.shape[0], x.shape[1]
+    tiles = np.zeros(
+        (batch, channels, grid.tiles_high, grid.tiles_wide, t, t), dtype=x.dtype
+    )
+    for th in range(grid.tiles_high):
+        for tw in range(grid.tiles_wide):
+            tiles[:, :, th, tw] = canvas[
+                :, :, th * m : th * m + t, tw * m : tw * m + t
+            ]
+    return tiles
+
+
+def extract_tiles_adjoint_reference(
+    d_tiles: np.ndarray, grid: TileGrid
+) -> np.ndarray:
+    """Per-tile overlap-add loop matching
+    :func:`repro.winograd.tiling.extract_tiles_adjoint`."""
+    batch, channels = d_tiles.shape[0], d_tiles.shape[1]
+    t, m = grid.tile, grid.m
+    canvas = np.zeros(
+        (batch, channels, grid.padded_height, grid.padded_width),
+        dtype=d_tiles.dtype,
+    )
+    for th in range(grid.tiles_high):
+        for tw in range(grid.tiles_wide):
+            canvas[:, :, th * m : th * m + t, tw * m : tw * m + t] += d_tiles[
+                :, :, th, tw
+            ]
+    return canvas[
+        :, :, grid.pad : grid.pad + grid.height, grid.pad : grid.pad + grid.width
+    ]
+
+
+def assemble_output_reference(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Per-tile placement loop matching
+    :func:`repro.winograd.tiling.assemble_output`."""
+    batch, channels = out_tiles.shape[0], out_tiles.shape[1]
+    m = grid.m
+    full = np.zeros(
+        (batch, channels, grid.tiles_high * m, grid.tiles_wide * m),
+        dtype=out_tiles.dtype,
+    )
+    for th in range(grid.tiles_high):
+        for tw in range(grid.tiles_wide):
+            full[:, :, th * m : (th + 1) * m, tw * m : (tw + 1) * m] = out_tiles[
+                :, :, th, tw
+            ]
+    return full[:, :, : grid.out_height, : grid.out_width]
+
+
+def assemble_output_adjoint_reference(dy: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Per-tile cut loop matching
+    :func:`repro.winograd.tiling.assemble_output_adjoint`."""
+    batch, channels = dy.shape[0], dy.shape[1]
+    m = grid.m
+    full = np.zeros(
+        (batch, channels, grid.tiles_high * m, grid.tiles_wide * m), dtype=dy.dtype
+    )
+    full[:, :, : grid.out_height, : grid.out_width] = dy
+    tiles = np.zeros(
+        (batch, channels, grid.tiles_high, grid.tiles_wide, m, m), dtype=dy.dtype
+    )
+    for th in range(grid.tiles_high):
+        for tw in range(grid.tiles_wide):
+            tiles[:, :, th, tw] = full[
+                :, :, th * m : (th + 1) * m, tw * m : (tw + 1) * m
+            ]
+    return tiles

@@ -114,12 +114,28 @@ def extract_tiles(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     return np.ascontiguousarray(view[:, :, ::m, ::m, :, :])
 
 
+#: Tile count above which the block-phase scatter beats the per-tile
+#: overlap-add loop.  Each loop iteration moves a whole ``(B, C, T, T)``
+#: slab, so numpy's per-call overhead amortizes well until the grid gets
+#: large, while the scatter pays a strided access pattern per element
+#: but is O(1) in the tile count.  Measured crossover is ~1000 tiles per
+#: image (see docs/performance.md).
+_SCATTER_MIN_TILES = 1024
+
+
 def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Adjoint of :func:`extract_tiles`: overlap-add tile gradients.
 
     Sums each tile gradient back into the (padded) canvas and crops the
     padding, yielding the gradient with respect to the original map.
+    Small grids use a per-tile loop (bit-identical to
+    :func:`repro.winograd.reference.extract_tiles_adjoint_reference`);
+    grids of at least ``_SCATTER_MIN_TILES`` tiles dispatch to the
+    vectorized :func:`_scatter_tiles_blockphase`, which differs from the
+    loop only by float reassociation.
     """
+    if grid.tiles_per_image >= _SCATTER_MIN_TILES:
+        return _scatter_tiles_blockphase(d_tiles, grid)
     batch, channels = d_tiles.shape[0], d_tiles.shape[1]
     t, m = grid.tile, grid.m
     canvas = np.zeros(
@@ -136,6 +152,52 @@ def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     ]
 
 
+def _scatter_tiles_blockphase(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
+    """Overlap-add with cost independent of the tile count.
+
+    Tiles overlap by ``t - m``, so the overlap-add cannot be a single
+    reshape.  Instead each tile is split into ``m``-strided blocks: all
+    tiles' ``(block_row, block_col)`` blocks land at pairwise-disjoint
+    canvas locations, so each of the ``ceil(t/m)^2`` block phases is one
+    vectorized accumulate into a strided canvas view.
+    """
+    batch, channels = d_tiles.shape[0], d_tiles.shape[1]
+    t, m = grid.tile, grid.m
+    tiles_high, tiles_wide = grid.tiles_high, grid.tiles_wide
+    canvas = np.zeros(
+        (batch, channels, grid.padded_height, grid.padded_width),
+        dtype=d_tiles.dtype,
+    )
+    stride_b, stride_c, stride_h, stride_w = canvas.strides
+    for block_row in range(0, t, m):
+        rows = min(m, t - block_row)
+        for block_col in range(0, t, m):
+            cols = min(m, t - block_col)
+            # Writable strided window: one (rows x cols) block per tile,
+            # anchored at (tile_row * m + block_row, ...).  Blocks are
+            # disjoint (rows, cols <= m = the tile stride), so the
+            # accumulate below never writes one cell twice.
+            target = np.lib.stride_tricks.as_strided(
+                canvas[:, :, block_row:, block_col:],
+                shape=(batch, channels, tiles_high, rows, tiles_wide, cols),
+                strides=(
+                    stride_b,
+                    stride_c,
+                    m * stride_h,
+                    stride_h,
+                    m * stride_w,
+                    stride_w,
+                ),
+            )
+            block = d_tiles[
+                :, :, :, :, block_row : block_row + rows, block_col : block_col + cols
+            ]
+            target += block.transpose(0, 1, 2, 4, 3, 5)
+    return canvas[
+        :, :, grid.pad : grid.pad + grid.height, grid.pad : grid.pad + grid.width
+    ]
+
+
 def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Stitch per-tile ``m x m`` outputs into the full output map.
 
@@ -144,16 +206,13 @@ def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """
     batch, channels = out_tiles.shape[0], out_tiles.shape[1]
     m = grid.m
-    full = np.zeros(
-        (batch, channels, grid.tiles_high * m, grid.tiles_wide * m),
-        dtype=out_tiles.dtype,
+    # Pure data movement (output tiles never overlap): interleave the
+    # tile and intra-tile axes, then crop — bit-identical to placing
+    # tiles one by one.
+    full = out_tiles.transpose(0, 1, 2, 4, 3, 5).reshape(
+        batch, channels, grid.tiles_high * m, grid.tiles_wide * m
     )
-    for th in range(grid.tiles_high):
-        for tw in range(grid.tiles_wide):
-            full[:, :, th * m : (th + 1) * m, tw * m : (tw + 1) * m] = out_tiles[
-                :, :, th, tw
-            ]
-    return full[:, :, : grid.out_height, : grid.out_width]
+    return np.ascontiguousarray(full[:, :, : grid.out_height, : grid.out_width])
 
 
 def assemble_output_adjoint(dy: np.ndarray, grid: TileGrid) -> np.ndarray:

@@ -61,6 +61,7 @@ class TestRingAllreduce:
 
 
 class TestAllToAll:
+    @pytest.mark.slow
     def test_simulated_matches_closed_form_4x4(self):
         topo = flattened_butterfly_2d(4, 4)
         sim = NetworkSimulator(topo, packet_bytes=DEFAULT_PARAMS.data_packet_bytes)

@@ -58,6 +58,7 @@ class TestRingVsTree:
     """The paper's design argument: rings win for large weight-gradient
     buffers; trees win only for small (latency-bound) messages."""
 
+    @pytest.mark.slow
     def test_ring_wins_large_messages(self):
         n, size = 8, 4_000_000
         tree_sim = NetworkSimulator(

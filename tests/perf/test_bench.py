@@ -1,0 +1,83 @@
+"""Benchmark runner: registry, rounds, JSON schema and the CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf import BENCHMARKS, run_benchmarks, write_bench_json
+from repro.perf.bench import format_results
+
+
+class TestRunBenchmarks:
+    def test_unknown_subset_rejected(self):
+        with pytest.raises(ValueError, match="unknown benchmarks"):
+            run_benchmarks(subset=["nope"])
+
+    def test_bad_rounds_rejected(self):
+        with pytest.raises(ValueError, match="rounds"):
+            run_benchmarks(subset=["fig15"], rounds=0)
+
+    def test_document_schema(self, monkeypatch):
+        calls = []
+        monkeypatch.setitem(BENCHMARKS, "fake", lambda: calls.append(1))
+        doc = run_benchmarks(subset=["fake"], rounds=2)
+        assert len(calls) == 2
+        assert doc["schema"] == 1
+        assert "machine" in doc
+        entry = doc["benchmarks"]["fake"]
+        assert entry["wall_s"] == min(entry["rounds_s"])
+        assert len(entry["rounds_s"]) == 2
+        assert set(entry) >= {"wall_s", "rounds_s", "phases", "cache"}
+
+    def test_cold_first_round_convention(self):
+        """Caches are cleared once per benchmark: the first round is the
+        cold number and later rounds run warm (fewer or zero misses)."""
+        doc = run_benchmarks(subset=["fig15"], rounds=2)
+        entry = doc["benchmarks"]["fig15"]
+        assert entry["cold_s"] == entry["rounds_s"][0]
+        stats = entry["cache"]
+        assert stats["hits"] + stats["misses"] > 0
+
+    def test_format_results_lists_every_benchmark(self, monkeypatch):
+        monkeypatch.setitem(BENCHMARKS, "fake", lambda: None)
+        doc = run_benchmarks(subset=["fake"], rounds=1)
+        text = format_results(doc)
+        assert "fake" in text
+        assert "wall_s" in text
+
+
+class TestWriteBenchJson:
+    def test_stamps_schema_and_machine(self, tmp_path):
+        out = tmp_path / "bench.json"
+        write_bench_json({"benchmarks": {"x": {"wall_s": 1.0}}}, out)
+        doc = json.loads(out.read_text())
+        assert doc["schema"] == 1
+        assert "python" in doc["machine"]
+
+    def test_wraps_bare_entries(self, tmp_path):
+        out = tmp_path / "bench.json"
+        write_bench_json({"x": {"wall_s": 1.0}}, out)
+        doc = json.loads(out.read_text())
+        assert doc["benchmarks"]["x"]["wall_s"] == 1.0
+
+
+class TestCli:
+    def test_bench_list(self, capsys):
+        cli_main(["bench", "--list"])
+        out = capsys.readouterr().out
+        for name in BENCHMARKS:
+            assert name in out
+
+    def test_bench_writes_json(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setitem(BENCHMARKS, "fake", lambda: None)
+        out = tmp_path / "BENCH_test.json"
+        cli_main(["bench", "--subset", "fake", "--rounds", "1", "-o", str(out)])
+        doc = json.loads(out.read_text())
+        assert "fake" in doc["benchmarks"]
+        assert "fake" in capsys.readouterr().out
+
+    def test_bench_unknown_subset_exits(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(["bench", "--subset", "nope", "-o",
+                      str(tmp_path / "x.json")])

@@ -1,0 +1,98 @@
+"""The PERF001 rule on minimal sources."""
+
+import textwrap
+
+from repro.statcheck import check_source
+
+
+def findings(source, path="src/repro/winograd/kernels.py"):
+    return [
+        (f.rule, f.line)
+        for f in check_source(textwrap.dedent(source), path=path,
+                              select=["PERF001"])
+    ]
+
+
+class TestTileElementLoop:
+    def test_flags_t_times_t(self):
+        assert findings(
+            """
+            def f(t):
+                for i in range(t * t):
+                    pass
+            """
+        ) == [("PERF001", 3)]
+
+    def test_flags_tile_squared(self):
+        assert findings(
+            """
+            def f(transform):
+                for i in range(transform.tile ** 2):
+                    pass
+            """
+        ) == [("PERF001", 3)]
+
+    def test_flags_comprehension(self):
+        assert findings(
+            """
+            def f(t):
+                return [g(i) for i in range(t**2)]
+            """
+        ) == [("PERF001", 3)]
+
+    def test_flags_range_with_start(self):
+        assert findings(
+            """
+            def f(t):
+                for i in range(1, t * t):
+                    pass
+            """
+        ) == [("PERF001", 3)]
+
+    def test_linear_loop_is_quiet(self):
+        assert findings(
+            """
+            def f(t):
+                for i in range(t):
+                    pass
+                for j in range(t + 1):
+                    pass
+            """
+        ) == []
+
+    def test_different_operands_are_quiet(self):
+        assert findings(
+            """
+            def f(rows, cols):
+                for i in range(rows * cols):
+                    pass
+            """
+        ) == []
+
+    def test_core_package_also_scoped(self):
+        src = """
+        def f(t):
+            for i in range(t * t):
+                pass
+        """
+        assert findings(src, path="src/repro/core/perf_model.py") == [
+            ("PERF001", 3)
+        ]
+
+    def test_other_packages_out_of_scope(self):
+        src = """
+        def f(t):
+            for i in range(t * t):
+                pass
+        """
+        assert findings(src, path="src/repro/netsim/engine.py") == []
+
+    def test_file_pragma_suppresses(self):
+        assert findings(
+            """
+            # statcheck: ignore-file[PERF001]
+            def f(t):
+                for i in range(t * t):
+                    pass
+            """
+        ) == []
