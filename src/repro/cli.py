@@ -134,6 +134,10 @@ def cmd_statcheck(args: argparse.Namespace) -> None:
     argv: List[str] = list(args.paths)
     if args.json:
         argv.append("--json")
+    if args.changed:
+        argv.append("--changed")
+    if args.base:
+        argv.extend(["--base", args.base])
     sys.exit(statcheck_main(argv))
 
 
@@ -206,6 +210,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="files or directories (default: the repro package)")
     p_chk.add_argument("--json", action="store_true",
                        help="emit a machine-readable JSON report")
+    p_chk.add_argument("--changed", action="store_true",
+                       help="check only files changed vs the base ref")
+    p_chk.add_argument("--base", default=None, metavar="REF",
+                       help="base ref for --changed")
     p_chk.set_defaults(func=cmd_statcheck)
 
     p_bench = sub.add_parser(

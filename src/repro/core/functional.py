@@ -29,12 +29,14 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..contracts import shaped
 from ..ndp.comm_unit import CollectiveEngine
 from ..prediction.predictor import predict_2d
 from ..prediction.quantization import NonUniformQuantizer, QuantizerConfig
 from ..winograd.cook_toom import WinogradTransform
 from ..winograd.tiling import TileGrid, assemble_output, extract_tiles
 from .config import GridConfig
+from .partition import partition_elements, shard_batch
 
 BYTES = 4
 
@@ -68,14 +70,17 @@ class MptWorker:
     weights: np.ndarray
     grad: Optional[np.ndarray] = None
 
+    @shaped("(E,TS,I) -> (E,TS,J)")
     def compute_forward(self, x_elements: np.ndarray) -> np.ndarray:
         """Element-wise GEMMs: ``(E, tiles, I) @ (E, I, J) -> (E, tiles, J)``."""
         return np.matmul(x_elements, self.weights.transpose(2, 1, 0))
 
+    @shaped("(E,TS,J) -> (E,TS,I)")
     def compute_backward(self, dy_elements: np.ndarray) -> np.ndarray:
         """``dX(e) = dY(e) @ W(e)^T``."""
         return np.matmul(dy_elements, self.weights.transpose(2, 0, 1))
 
+    @shaped("(E,TS,I), (E,TS,J) -> (J,I,E)")
     def compute_weight_grad(
         self, x_elements: np.ndarray, dy_elements: np.ndarray
     ) -> np.ndarray:
@@ -143,12 +148,13 @@ class MptLayerMachine:
         self.counters = TrafficCounters()
         self.collective = CollectiveEngine(chunk_elems=64)
 
-        # Element ownership: element e belongs to group e % N_g.
-        self._element_owner = [e % grid.num_groups for e in range(t2)]
+        # Element ownership: element e belongs to group e % N_g
+        # (see repro.core.partition for the contract-checked split).
+        element_parts = partition_elements(t2, grid.num_groups)
         flat_weights = initial_weights.reshape(out_channels, in_channels, t2)
         self.workers: Dict[Tuple[int, int], MptWorker] = {}
         for g in range(grid.num_groups):
-            element_ids = [e for e in range(t2) if self._element_owner[e] == g]
+            element_ids = element_parts[g]
             for c in range(grid.num_clusters):
                 self.workers[(g, c)] = MptWorker(
                     group=g,
@@ -172,12 +178,8 @@ class MptLayerMachine:
         )
 
     def _shard_batch(self, batch: int) -> List[np.ndarray]:
-        if batch % self.grid.num_clusters:
-            raise ValueError(
-                f"batch {batch} not divisible by {self.grid.num_clusters} clusters"
-            )
-        per = batch // self.grid.num_clusters
-        return [np.arange(c * per, (c + 1) * per) for c in range(self.grid.num_clusters)]
+        shards = shard_batch(batch, self.grid.num_clusters)
+        return [np.asarray(shard, dtype=np.intp) for shard in shards]
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray, apply_relu: bool = False) -> np.ndarray:

@@ -1,0 +1,51 @@
+"""Worker-grid partition functions for MPT (paper Section III).
+
+These are the two data decompositions the machine performs: tile
+*elements* are scattered round-robin across the ``N_g`` groups
+(element ``e`` belongs to group ``e % N_g``), and the *batch* is
+sharded contiguously across the ``N_c`` clusters.
+
+Each function carries a :func:`repro.contracts.partitioned` contract
+declaring that its result must be a disjoint exact cover of
+``range(domain)`` split into ``parts`` groups.  The contract is
+enforced two ways: statically by the ``SHAPE005`` rule (which executes
+the function over a battery of small grids, including the
+non-divisible ones dynamic clustering produces) and at runtime under
+``REPRO_CHECK_SHAPES=1``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..contracts import partitioned
+
+
+@partitioned(domain="t2", parts="ng")
+def partition_elements(t2: int, ng: int) -> List[List[int]]:
+    """Round-robin ownership of the ``t2 = T^2`` tile elements over
+    ``ng`` groups: element ``e`` belongs to group ``e % ng``.
+
+    Returns one sorted id list per group; group ``g``'s slice is what
+    its workers hold of the Winograd-domain weights.
+    """
+    if ng < 1:
+        raise ValueError(f"need at least one group, got {ng}")
+    return [[e for e in range(t2) if e % ng == g] for g in range(ng)]
+
+
+@partitioned(domain="batch", parts="nc")
+def shard_batch(batch: int, nc: int) -> List[List[int]]:
+    """Contiguous equal shards of ``batch`` samples over ``nc`` clusters.
+
+    MPT keeps the batch dimension resident: each cluster runs its shard
+    end to end, so the shards must tile ``range(batch)`` exactly.  The
+    machine model requires divisibility (raises otherwise) rather than
+    silently dropping or duplicating samples.
+    """
+    if nc < 1:
+        raise ValueError(f"need at least one cluster, got {nc}")
+    if batch % nc:
+        raise ValueError(f"batch {batch} not divisible by {nc} clusters")
+    per = batch // nc
+    return [list(range(c * per, (c + 1) * per)) for c in range(nc)]

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
+from ..contracts import shaped
 from ..params import DEFAULT_PARAMS, HardwareParams
 from .engine import Message, NetworkSimulator
 
@@ -61,6 +62,7 @@ class _Collector:
         )
 
 
+@shaped("_, _, MB, ST -> _")
 def ring_allreduce(
     sim: NetworkSimulator,
     nodes: Sequence[int],
@@ -77,7 +79,12 @@ def ring_allreduce(
     n = len(nodes)
     if n == 1:
         return CollectiveResult(finish_time_s=start_time, total_bytes_on_wire=0.0, messages=0)
-    slice_bytes = max(1, message_bytes // n)
+    # Ragged slice bounds: slice i covers [bounds[i], bounds[i+1]), so the
+    # n slices always sum back to message_bytes even when n does not
+    # divide it (a floor division here would silently drop the remainder
+    # from the reduction — exactly what SHAPE006 polices).
+    bounds = [round(i * message_bytes / n) for i in range(n + 1)]
+    slice_sizes = [hi - lo for lo, hi in zip(bounds, bounds[1:])]
     total_steps = 2 * (n - 1)
     collector = _Collector(start_time)
 
@@ -96,18 +103,22 @@ def ring_allreduce(
             send_step((position + 1) % n, slice_id, step + 1, time)
 
         sim.send(
-            Message(src=src, dst=dst, size_bytes=slice_bytes, tag=f"ar-s{slice_id}",
-                    on_complete=delivered),
+            Message(src=src, dst=dst, size_bytes=slice_sizes[slice_id],
+                    tag=f"ar-s{slice_id}", on_complete=delivered),
             start_time=when,
         )
 
     # Slice i starts at the node at ring position i (standard ring AR).
+    # Zero-byte slices (message smaller than the ring) have nothing to
+    # reduce or broadcast, so their chains never start.
     for slice_id in range(n):
-        send_step(slice_id, slice_id, 0, start_time)
+        if slice_sizes[slice_id]:
+            send_step(slice_id, slice_id, 0, start_time)
     sim.run()
     return collector.result()
 
 
+@shaped("_, _, BPP, ST -> _")
 def all_to_all(
     sim: NetworkSimulator,
     nodes: Sequence[int],
@@ -135,6 +146,7 @@ def all_to_all(
 # ---- analytic cross-checks ---------------------------------------------------
 
 
+@shaped("MB, N, BW, RINGS, _, _ -> SEC")
 def ring_allreduce_time(
     message_bytes: int,
     n: int,
@@ -162,6 +174,7 @@ def ring_allreduce_time(
     return bandwidth_term + latency_term
 
 
+@shaped("S -> R, C")
 def fbfly_shape(cluster_size: int) -> tuple[int, int]:
     """``rows x cols`` arrangement of a cluster FBFLY.
 
@@ -181,6 +194,7 @@ def fbfly_shape(cluster_size: int) -> tuple[int, int]:
     return rows, cluster_size // rows
 
 
+@shaped("S -> H")
 def fbfly_avg_hops(cluster_size: int) -> float:
     """Mean hop count of uniform all-to-all on the cluster FBFLY under
     dimension-order routing (1 hop same row/column, 2 otherwise)."""
@@ -192,6 +206,7 @@ def fbfly_avg_hops(cluster_size: int) -> float:
     return (direct + 2 * (total - direct)) / total
 
 
+@shaped("BPP, N, INJ, _, _, _ -> SEC")
 def all_to_all_time(
     bytes_per_pair: int,
     n: int,
@@ -222,6 +237,7 @@ def all_to_all_time(
     return bandwidth_term + avg_hops * hop_latency_s
 
 
+@shaped("S, _ -> INJ")
 def fbfly_injection_rate(
     cluster_size: int, params: HardwareParams = DEFAULT_PARAMS
 ) -> float:

@@ -16,6 +16,7 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..contracts import shaped
 from ..winograd import (
     WinogradTransform,
     conv2d_backward_input,
@@ -70,10 +71,12 @@ class Conv2D(Layer):
         self.grads["w"] = np.zeros_like(self.params["w"])
         self._x: Optional[np.ndarray] = None
 
+    @shaped("(B,I,H,W) -> (B,J,OH,OW)")
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
         return conv2d_forward(x, self.params["w"], self.pad)
 
+    @shaped("(B,J,OH,OW) -> (B,I,H,W)")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         assert self._x is not None, "backward called before forward"
         self.grads["w"] += conv2d_backward_weight(self._x, dy, self.pad)
@@ -111,16 +114,19 @@ class WinogradConv2D(Layer):
         self.grads["W"] = np.zeros_like(self.params["W"])
         self._cache = None
 
+    @shaped("(B,I,H,W) -> (B,J,OH,OW)")
     def forward(self, x: np.ndarray) -> np.ndarray:
         y, self._cache = winograd_forward(x, self.params["W"], self.transform, self.pad)
         return y
 
+    @shaped("(B,J,OH,OW) -> (B,I,H,W)")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         assert self._cache is not None, "backward called before forward"
         dx, dw = winograd_backward(dy, self.params["W"], self.transform, self._cache)
         self.grads["W"] += dw
         return dx
 
+    @shaped("(B,I,H,W) -> (B,J,TH,TW,T,T)")
     def forward_tiles(self, x: np.ndarray) -> np.ndarray:
         """Forward pass that stops in the Winograd domain, returning output
         tiles ``(B, J, th, tw, T, T)`` *before* the inverse transform.
@@ -146,6 +152,7 @@ class WinogradConv2D(Layer):
         self._cache = WinogradConvCache(input_tiles=input_tiles, grid=grid)
         return elementwise_matmul(input_tiles, self.params["W"])
 
+    @shaped("(B,J,TH,TW,T,T) -> (B,I,H,W)")
     def backward_tiles(self, d_out_tiles: np.ndarray) -> np.ndarray:
         """Backward counterpart of :meth:`forward_tiles`: takes the
         gradient w.r.t. the Winograd-domain output tiles."""
@@ -169,10 +176,12 @@ class ReLU(Layer):
         super().__init__()
         self._mask: Optional[np.ndarray] = None
 
+    @shaped("(...) -> (...)")
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._mask = x > 0
         return x * self._mask
 
+    @shaped("(...) -> (...)")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         assert self._mask is not None
         return dy * self._mask
@@ -186,6 +195,7 @@ class MaxPool2x2(Layer):
         self._argmax: Optional[np.ndarray] = None
         self._shape: Optional[tuple] = None
 
+    @shaped("(B,C,2*HH,2*WW) -> (B,C,HH,WW)")
     def forward(self, x: np.ndarray) -> np.ndarray:
         b, c, h, w = x.shape
         if h % 2 or w % 2:
@@ -196,6 +206,7 @@ class MaxPool2x2(Layer):
         self._argmax = flat.argmax(axis=-1)
         return flat.max(axis=-1)
 
+    @shaped("(B,C,HH,WW) -> (B,C,2*HH,2*WW)")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         assert self._shape is not None and self._argmax is not None
         b, c, h, w = self._shape
@@ -210,10 +221,12 @@ class GlobalAvgPool(Layer):
         super().__init__()
         self._shape: Optional[tuple] = None
 
+    @shaped("(B,C,H,W) -> (B,C)")
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._shape = x.shape
         return x.mean(axis=(2, 3))
 
+    @shaped("(B,C) -> (B,C,H,W)")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         assert self._shape is not None
         b, c, h, w = self._shape
@@ -235,10 +248,12 @@ class Dense(Layer):
         self.grads["b"] = np.zeros_like(self.params["b"])
         self._x: Optional[np.ndarray] = None
 
+    @shaped("(B,F) -> (B,G)")
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
         return x @ self.params["w"] + self.params["b"]
 
+    @shaped("(B,G) -> (B,F)")
     def backward(self, dy: np.ndarray) -> np.ndarray:
         assert self._x is not None
         self.grads["w"] += self._x.T @ dy

@@ -6,6 +6,7 @@ Exit status: 0 when clean, 1 when findings remain, 2 on usage errors.
 from __future__ import annotations
 
 import argparse
+import subprocess
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -17,6 +18,57 @@ from .findings import render_json, render_text
 def _default_paths() -> List[Path]:
     """Lint the installed ``repro`` package when no path is given."""
     return [Path(__file__).resolve().parents[1]]
+
+
+def _git(args: List[str], cwd: Optional[Path] = None) -> str:
+    return subprocess.run(
+        ["git", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+        text=True,
+    ).stdout
+
+
+def changed_python_files(base: Optional[str] = None) -> List[Path]:
+    """Python files changed relative to ``base`` (plus untracked ones).
+
+    ``base`` defaults to the first of ``origin/main``, ``origin/master``,
+    ``main``, ``master`` that resolves.  Deleted files are excluded, and
+    paths are returned absolute so the caller's cwd does not matter.
+
+    Raises ``RuntimeError`` outside a git work tree or when ``base``
+    does not resolve to a commit.
+    """
+    try:
+        root = Path(_git(["rev-parse", "--show-toplevel"]).strip())
+    except (subprocess.CalledProcessError, OSError) as exc:
+        raise RuntimeError("--changed requires a git work tree") from exc
+    candidates = [base] if base else ["origin/main", "origin/master", "main", "master"]
+    ref = None
+    for candidate in candidates:
+        try:
+            _git(["rev-parse", "--verify", "--quiet", f"{candidate}^{{commit}}"], cwd=root)
+        except subprocess.CalledProcessError:
+            continue
+        ref = candidate
+        break
+    if ref is None:
+        raise RuntimeError(
+            f"no base ref found (tried {', '.join(candidates)}); pass --base REF"
+        )
+    listed = _git(
+        ["diff", "--name-only", "--diff-filter=d", ref, "--"], cwd=root
+    ).splitlines()
+    listed += _git(
+        ["ls-files", "--others", "--exclude-standard"], cwd=root
+    ).splitlines()
+    files = []
+    for name in dict.fromkeys(listed):
+        path = root / name
+        if path.suffix == ".py" and path.exists():
+            files.append(path)
+    return files
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -55,6 +107,23 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print the rule catalogue and exit",
     )
+    parser.add_argument(
+        "--changed",
+        action="store_true",
+        help=(
+            "check only .py files changed vs the base ref (git diff + "
+            "untracked) instead of whole trees"
+        ),
+    )
+    parser.add_argument(
+        "--base",
+        default=None,
+        metavar="REF",
+        help=(
+            "base ref for --changed (default: first of origin/main, "
+            "origin/master, main, master that exists)"
+        ),
+    )
     return parser
 
 
@@ -70,7 +139,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{rule.id}  {rule.name}")
             print(f"    {rule.description}")
         return 0
-    paths = args.paths or _default_paths()
+    if args.base and not args.changed:
+        print("statcheck: --base only makes sense with --changed", file=sys.stderr)
+        return 2
+    if args.changed:
+        if args.paths:
+            print("statcheck: --changed and explicit paths are exclusive",
+                  file=sys.stderr)
+            return 2
+        try:
+            paths = changed_python_files(args.base)
+        except RuntimeError as exc:
+            print(f"statcheck: {exc}", file=sys.stderr)
+            return 2
+        if not paths:
+            print(render_json([]) if args.json else render_text([]))
+            return 0
+    else:
+        paths = args.paths or _default_paths()
     missing = [str(p) for p in paths if not Path(p).exists()]
     if missing:
         print(f"statcheck: no such path: {', '.join(missing)}", file=sys.stderr)

@@ -11,7 +11,17 @@ from .findings import Finding, Severity, sort_findings
 from .suppress import SuppressionIndex
 
 #: Directory names never descended into when walking a tree.
-EXCLUDED_DIRS = {".git", "__pycache__", ".egg-info", "repro.egg-info", ".venv"}
+EXCLUDED_DIRS = {
+    ".git",
+    "__pycache__",
+    ".egg-info",
+    "repro.egg-info",
+    ".venv",
+    "build",
+    "dist",
+    ".mypy_cache",
+    ".ruff_cache",
+}
 
 
 @dataclass
@@ -117,7 +127,7 @@ def check_source(
     findings: List[Finding] = []
     for rule in _selected_rules(select, ignore):
         findings.extend(rule.check(ctx))
-    return sort_findings(SuppressionIndex(source).apply(findings))
+    return sort_findings(SuppressionIndex(source, tree=tree).apply(findings))
 
 
 def check_file(

@@ -46,7 +46,12 @@ class Finding:
 
 
 def sort_findings(findings: Sequence[Finding]) -> List[Finding]:
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.rule))
+    """Deterministic reporter order: (path, line, rule, col).
+
+    Rule before column so co-located findings group by rule id — the
+    order diff-based workflows (``--changed``) compare against.
+    """
+    return sorted(findings, key=lambda f: (f.path, f.line, f.rule, f.col))
 
 
 def render_text(findings: Sequence[Finding]) -> str:

@@ -3,6 +3,12 @@ with the engine (each module uses the ``@register`` decorator)."""
 
 from __future__ import annotations
 
-from . import config_rules, determinism, perf_rules, units  # noqa: F401
+from . import (  # noqa: F401
+    config_rules,
+    determinism,
+    perf_rules,
+    shape_rules,
+    units,
+)
 
-__all__ = ["config_rules", "determinism", "perf_rules", "units"]
+__all__ = ["config_rules", "determinism", "perf_rules", "shape_rules", "units"]

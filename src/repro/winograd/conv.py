@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import shaped
 from ..perf import phase
 from .cook_toom import WinogradTransform, make_transform
 from .tiling import (
@@ -32,6 +33,7 @@ from .tiling import (
 )
 
 
+@shaped("(B,I,TH,TW,T,T), (J,I,T,T) -> (B,J,TH,TW,T,T)")
 def elementwise_matmul(tiles: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """The ``T^2`` independent matrix products of paper Equation 2.
 
@@ -57,6 +59,7 @@ def elementwise_matmul(tiles: np.ndarray, weights: np.ndarray) -> np.ndarray:
     return np.ascontiguousarray(out.transpose(2, 5, 3, 4, 0, 1))
 
 
+@shaped("(B,J,TH,TW,T,T), (J,I,T,T) -> (B,I,TH,TW,T,T)")
 def elementwise_matmul_transposed(tiles_grad: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Backward-to-input of :func:`elementwise_matmul`:
     ``dX(u,v) = dY(u,v) @ W(u,v)^T``."""
@@ -69,6 +72,7 @@ def elementwise_matmul_transposed(tiles_grad: np.ndarray, weights: np.ndarray) -
     return np.ascontiguousarray(out.transpose(2, 5, 3, 4, 0, 1))
 
 
+@shaped("(B,I,TH,TW,T,T), (B,J,TH,TW,T,T) -> (J,I,T,T)")
 def elementwise_weight_grad(tiles: np.ndarray, tiles_grad: np.ndarray) -> np.ndarray:
     """Winograd-domain weight gradient:
     ``dW(u,v) = X(u,v)^T @ dY(u,v)`` summed over batch and tiles."""
@@ -89,6 +93,7 @@ class WinogradConvCache:
     grid: TileGrid
 
 
+@shaped("(B,I,H,W), (J,I,T,T), _, P -> (B,J,H+2*P-R+1,W+2*P-R+1), _")
 def winograd_forward(
     x: np.ndarray,
     weights_wd: np.ndarray,
@@ -130,6 +135,7 @@ def winograd_forward(
     return y, WinogradConvCache(input_tiles=input_tiles, grid=grid)
 
 
+@shaped("(B,J,OH,OW), (J,I,T,T), _, _ -> (B,I,H,W), (J,I,T,T)")
 def winograd_backward(
     dy: np.ndarray,
     weights_wd: np.ndarray,
@@ -153,6 +159,7 @@ def winograd_backward(
     return dx, dw_wd
 
 
+@shaped("(B,I,H,W), (J,I,R,R), _, P -> (B,J,H+2*P-R+1,W+2*P-R+1), _")
 def winograd_forward_spatial(
     x: np.ndarray,
     w: np.ndarray,
@@ -163,6 +170,7 @@ def winograd_forward_spatial(
     return winograd_forward(x, transform.transform_weight(w), transform, pad)
 
 
+@shaped("(B,J,OH,OW), (J,I,R,R), _, _ -> (B,I,H,W), (J,I,R,R)")
 def winograd_backward_spatial(
     dy: np.ndarray,
     w: np.ndarray,
@@ -175,11 +183,13 @@ def winograd_backward_spatial(
     return dx, transform.transform_weight_transposed(dw_wd)
 
 
+@shaped("(J,I,R,R), _ -> (J,I,T,T)")
 def spatial_to_winograd(w: np.ndarray, transform: WinogradTransform) -> np.ndarray:
     """Lift spatial weights ``(J, I, r, r)`` into the Winograd domain."""
     return transform.transform_weight(w)
 
 
+@shaped("(...,T,T), _ -> (...,R,R)")
 def winograd_to_spatial_lstsq(
     weights_wd: np.ndarray, transform: WinogradTransform
 ) -> np.ndarray:

@@ -28,6 +28,7 @@ from typing import List, Sequence
 
 import numpy as np
 
+from ..contracts import shaped
 from .points import default_points
 
 FractionMatrix = List[List[Fraction]]
@@ -162,31 +163,37 @@ class WinogradTransform:
         return _to_float(self.A_exact)
 
     # ---- 1D helpers -----------------------------------------------------
+    @shaped("(...,T) -> (...,T)")
     def transform_input_1d(self, x: np.ndarray) -> np.ndarray:
         """``B^T x`` along the last axis (length ``T``)."""
         return np.tensordot(x, self.B, axes=([-1], [0]))
 
+    @shaped("(...,R) -> (...,T)")
     def transform_weight_1d(self, w: np.ndarray) -> np.ndarray:
         """``G w`` along the last axis (length ``r``)."""
         return np.tensordot(w, self.G, axes=([-1], [1]))
 
+    @shaped("(...,T) -> (...,M)")
     def inverse_transform_1d(self, Y: np.ndarray) -> np.ndarray:
         """``A^T Y`` along the last axis (length ``T``)."""
         return np.tensordot(Y, self.A, axes=([-1], [0]))
 
     # ---- 2D helpers -----------------------------------------------------
+    @shaped("(...,T,T) -> (...,T,T)")
     def transform_input(self, x: np.ndarray) -> np.ndarray:
         """``B^T x B`` applied to the trailing two axes (each length ``T``)."""
         out = np.tensordot(x, self.B, axes=([-2], [0]))
         out = np.tensordot(out, self.B, axes=([-2], [0]))
         return out
 
+    @shaped("(...,R,R) -> (...,T,T)")
     def transform_weight(self, w: np.ndarray) -> np.ndarray:
         """``G w G^T`` applied to the trailing two axes (each length ``r``)."""
         out = np.tensordot(w, self.G, axes=([-2], [1]))
         out = np.tensordot(out, self.G, axes=([-2], [1]))
         return out
 
+    @shaped("(...,T,T) -> (...,M,M)")
     def inverse_transform(self, Y: np.ndarray) -> np.ndarray:
         """``A^T Y A`` applied to the trailing two axes (each length ``T``)."""
         out = np.tensordot(Y, self.A, axes=([-2], [0]))
@@ -194,6 +201,7 @@ class WinogradTransform:
         return out
 
     # ---- transposed (gradient) operators --------------------------------
+    @shaped("(...,M,M) -> (...,T,T)")
     def inverse_transform_transposed(self, dy: np.ndarray) -> np.ndarray:
         """Transpose of :meth:`inverse_transform`: maps ``m x m`` gradients
         to ``T x T`` Winograd-domain gradients (``A dy A^T``)."""
@@ -201,6 +209,7 @@ class WinogradTransform:
         out = np.tensordot(out, self.A, axes=([-2], [1]))
         return out
 
+    @shaped("(...,T,T) -> (...,T,T)")
     def transform_input_transposed(self, dX: np.ndarray) -> np.ndarray:
         """Transpose of :meth:`transform_input`: maps ``T x T``
         Winograd-domain input gradients back to spatial tiles
@@ -209,6 +218,7 @@ class WinogradTransform:
         out = np.tensordot(out, self.B, axes=([-2], [1]))
         return out
 
+    @shaped("(...,T,T) -> (...,R,R)")
     def transform_weight_transposed(self, dW: np.ndarray) -> np.ndarray:
         """Transpose of :meth:`transform_weight`: maps ``T x T``
         Winograd-domain weight gradients to spatial ``r x r`` gradients

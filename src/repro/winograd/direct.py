@@ -14,7 +14,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import shaped
 
+
+@shaped("(B,C,H,W), KH, KW, P -> (B,C,KH,KW,H+2*P-KH+1,W+2*P-KW+1)")
 def _im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
     """Return patches of shape ``(B, I, kh, kw, H_out, W_out)``."""
     if pad:
@@ -24,6 +27,7 @@ def _im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
     return view.transpose(0, 1, 4, 5, 2, 3)
 
 
+@shaped("(B,I,H,W), (J,I,R,R), P -> (B,J,H+2*P-R+1,W+2*P-R+1)")
 def conv2d_forward(x: np.ndarray, w: np.ndarray, pad: int = 0) -> np.ndarray:
     """Correlation-style 2D convolution, ``y_{b,j} = sum_i x_{b,i} * w_{i,j}``.
 
@@ -49,6 +53,7 @@ def conv2d_forward(x: np.ndarray, w: np.ndarray, pad: int = 0) -> np.ndarray:
     return np.einsum("nipqhw,jipq->njhw", cols, w, optimize=True)
 
 
+@shaped("(B,J,OH,OW), (J,I,R,R), P, _ -> (B,I,H,W)")
 def conv2d_backward_input(
     dy: np.ndarray, w: np.ndarray, pad: int, in_hw: tuple[int, int]
 ) -> np.ndarray:
@@ -84,6 +89,7 @@ def conv2d_backward_input(
     return dx_full[:, :, pad : pad + height, pad : pad + width]
 
 
+@shaped("(B,I,H,W), (B,J,OH,OW), P -> (J,I,H+2*P-OH+1,W+2*P-OW+1)")
 def conv2d_backward_weight(x: np.ndarray, dy: np.ndarray, pad: int) -> np.ndarray:
     """Weight gradient ``dL/dw_{i,j} = sum_b dy_{b,j} * x_{b,i}``.
 
@@ -110,11 +116,13 @@ def conv2d_backward_weight(x: np.ndarray, dy: np.ndarray, pad: int) -> np.ndarra
     return np.einsum("nipqhw,njhw->jipq", cols, dy, optimize=True)
 
 
+@shaped("(...) -> (...)")
 def relu(x: np.ndarray) -> np.ndarray:
     """Rectified linear unit."""
     return np.maximum(x, 0.0)
 
 
+@shaped("(...), (...) -> (...)")
 def relu_grad(y_pre: np.ndarray, dy: np.ndarray) -> np.ndarray:
     """Backward pass of ReLU given the pre-activation values."""
     return dy * (y_pre > 0)

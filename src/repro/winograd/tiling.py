@@ -17,6 +17,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..contracts import shaped
+
 
 @dataclass(frozen=True)
 class TileGrid:
@@ -83,6 +85,7 @@ class TileGrid:
         return (self.tiles_wide - 1) * self.m + self.tile
 
 
+@shaped("(B,C,H,W), _ -> (B,C,PH,PW)")
 def _padded_canvas(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Zero-extend ``x`` so that every tile lies fully inside the canvas."""
     batch, channels = x.shape[0], x.shape[1]
@@ -93,6 +96,7 @@ def _padded_canvas(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     return canvas
 
 
+@shaped("(B,C,H,W), _ -> (B,C,TH,TW,T,T)")
 def extract_tiles(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Cut a feature map into overlapping ``T x T`` tiles with stride ``m``.
 
@@ -123,6 +127,7 @@ def extract_tiles(x: np.ndarray, grid: TileGrid) -> np.ndarray:
 _SCATTER_MIN_TILES = 1024
 
 
+@shaped("(B,C,TH,TW,T,T), _ -> (B,C,H,W)")
 def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Adjoint of :func:`extract_tiles`: overlap-add tile gradients.
 
@@ -152,6 +157,7 @@ def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     ]
 
 
+@shaped("(B,C,TH,TW,T,T), _ -> (B,C,H,W)")
 def _scatter_tiles_blockphase(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Overlap-add with cost independent of the tile count.
 
@@ -198,6 +204,7 @@ def _scatter_tiles_blockphase(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray
     ]
 
 
+@shaped("(B,C,TH,TW,M,M), _ -> (B,C,OH,OW)")
 def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Stitch per-tile ``m x m`` outputs into the full output map.
 
@@ -215,6 +222,7 @@ def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     return np.ascontiguousarray(full[:, :, : grid.out_height, : grid.out_width])
 
 
+@shaped("(B,C,OH,OW), _ -> (B,C,TH,TW,M,M)")
 def assemble_output_adjoint(dy: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Adjoint of :func:`assemble_output`: cut an output gradient into
     non-overlapping ``m x m`` tiles (zero-padding past the boundary)."""

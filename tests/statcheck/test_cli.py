@@ -104,3 +104,96 @@ class TestModuleEntryPoint:
         )
         assert result.returncode == 1
         assert "UNIT001" in result.stdout
+
+
+class TestExcludedDirs:
+    def test_walker_skips_build_artifacts(self, tmp_path):
+        from repro.statcheck.engine import EXCLUDED_DIRS, iter_python_files
+
+        (tmp_path / "pkg").mkdir()
+        write(tmp_path, "pkg/real.py", CLEAN)
+        for skipped in ("build", "dist", ".mypy_cache", ".ruff_cache",
+                        "__pycache__", ".venv"):
+            assert skipped in EXCLUDED_DIRS
+            (tmp_path / "pkg" / skipped).mkdir()
+            write(tmp_path, f"pkg/{skipped}/junk.py", DIRTY)
+        found = [p.name for p in iter_python_files([tmp_path / "pkg"])]
+        assert found == ["real.py"]
+
+    def test_check_paths_ignores_excluded_trees(self, tmp_path, capsys):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "build").mkdir()
+        write(tmp_path, "pkg/ok.py", CLEAN)
+        write(tmp_path, "pkg/build/generated.py", DIRTY)
+        assert main([str(tmp_path / "pkg")]) == 0
+        assert "generated.py" not in capsys.readouterr().out
+
+
+class TestChangedMode:
+    """`--changed` lints only files touched vs a git base ref."""
+
+    @staticmethod
+    def git(repo, *args):
+        subprocess.run(
+            ["git", *args],
+            cwd=repo,
+            check=True,
+            capture_output=True,
+            env={
+                "PATH": "/usr/bin:/bin",
+                "GIT_AUTHOR_NAME": "t", "GIT_AUTHOR_EMAIL": "t@t",
+                "GIT_COMMITTER_NAME": "t", "GIT_COMMITTER_EMAIL": "t@t",
+                "HOME": str(repo),
+            },
+        )
+
+    def repo_with_history(self, tmp_path):
+        repo = tmp_path / "repo"
+        repo.mkdir()
+        self.git(repo, "init", "-b", "main")
+        (repo / "base.py").write_text(CLEAN)
+        (repo / "untouched_dirty.py").write_text(DIRTY)
+        self.git(repo, "add", "-A")
+        self.git(repo, "commit", "-m", "seed")
+        self.git(repo, "checkout", "-b", "feature")
+        (repo / "touched.py").write_text(DIRTY)
+        self.git(repo, "add", "touched.py")
+        self.git(repo, "commit", "-m", "change")
+        return repo
+
+    def test_changed_lints_only_the_diff(self, tmp_path, capsys, monkeypatch):
+        repo = self.repo_with_history(tmp_path)
+        monkeypatch.chdir(repo)
+        assert main(["--changed", "--base", "main"]) == 1
+        out = capsys.readouterr().out
+        assert "touched.py" in out
+        # Pre-existing findings outside the diff are not reported.
+        assert "untouched_dirty.py" not in out
+
+    def test_untracked_files_are_included(self, tmp_path, capsys, monkeypatch):
+        repo = self.repo_with_history(tmp_path)
+        (repo / "scratch.py").write_text(DIRTY)
+        monkeypatch.chdir(repo)
+        assert main(["--changed", "--base", "main"]) == 1
+        out = capsys.readouterr().out
+        assert "scratch.py" in out
+
+    def test_no_changes_is_clean(self, tmp_path, capsys, monkeypatch):
+        repo = self.repo_with_history(tmp_path)
+        monkeypatch.chdir(repo)
+        assert main(["--changed", "--base", "feature"]) == 0
+        assert "statcheck: 0 findings" in capsys.readouterr().out
+
+    def test_changed_with_paths_is_usage_error(self, tmp_path, capsys):
+        assert main(["--changed", str(tmp_path)]) == 2
+        assert "exclusive" in capsys.readouterr().err
+
+    def test_base_without_changed_is_usage_error(self, capsys):
+        assert main(["--base", "main"]) == 2
+        assert "--changed" in capsys.readouterr().err
+
+    def test_bad_base_ref_exits_two(self, tmp_path, capsys, monkeypatch):
+        repo = self.repo_with_history(tmp_path)
+        monkeypatch.chdir(repo)
+        assert main(["--changed", "--base", "no-such-ref"]) == 2
+        assert "no base ref" in capsys.readouterr().err

@@ -32,7 +32,7 @@ class TestModel:
             "severity": "error",
         }
 
-    def test_sort_is_path_then_position(self):
+    def test_sort_is_path_line_rule_col(self):
         unsorted = [
             finding(path="b.py", line=1),
             finding(path="a.py", line=9),
@@ -45,6 +45,17 @@ class TestModel:
             ("a.py", 2, 5),
             ("a.py", 9, 1),
             ("b.py", 1, 1),
+        ]
+
+    def test_colocated_findings_group_by_rule_before_col(self):
+        unsorted = [
+            finding(rule="UNIT001", path="a.py", line=2, col=9),
+            finding(rule="DET004", path="a.py", line=2, col=12),
+        ]
+        ordered = sort_findings(unsorted)
+        assert [(f.rule, f.col) for f in ordered] == [
+            ("DET004", 12),
+            ("UNIT001", 9),
         ]
 
 

@@ -98,3 +98,87 @@ class TestEndToEnd:
             bad_seconds = size_bytes + id(layer)
             """
         ) == ["UNIT003"]
+
+
+class TestStatementAwareTargeting:
+    """Pragmas resolved against the AST: decorator lines and multiline
+    statements map to the line the finding is anchored at."""
+
+    # An impure @partitioned function: SHAPE005 reports "cannot
+    # statically verify" anchored at the `def` line, below the decorator.
+    IMPURE = """
+            from repro.contracts import partitioned
+            import os
+
+            @partitioned(domain="n", parts="k"){pragma}
+            def f(n, k):
+                os.urandom(1)
+                return [[i] for i in range(n)]
+            """
+
+    def test_finding_fires_without_pragma(self):
+        assert rules(self.IMPURE.format(pragma=""), select=["SHAPE005"]) == [
+            "SHAPE005"
+        ]
+
+    def test_decorator_line_pragma_suppresses_the_def(self):
+        assert rules(
+            self.IMPURE.format(pragma="  # statcheck: ignore[SHAPE005]"),
+            select=["SHAPE005"],
+        ) == []
+
+    def test_multiline_decorator_pragma_suppresses_the_def(self):
+        assert rules(
+            """
+            from repro.contracts import partitioned
+            import os
+
+            @partitioned(
+                domain="n",  # statcheck: ignore[SHAPE005]
+                parts="k",
+            )
+            def f(n, k):
+                os.urandom(1)
+                return [[i] for i in range(n)]
+            """,
+            select=["SHAPE005"],
+        ) == []
+
+    def test_multi_code_pragma_on_decorator_line(self):
+        assert rules(
+            self.IMPURE.format(pragma="  # statcheck: ignore[SHAPE005,DET004]"),
+            select=["SHAPE005"],
+        ) == []
+
+    def test_pragma_on_continuation_line_of_multiline_statement(self):
+        # The finding anchors at the statement's first line; the pragma
+        # sits on a continuation line.
+        assert rules(
+            """
+            bad_seconds = (
+                size_bytes
+                + 1  # statcheck: ignore[UNIT003]
+            )
+            """
+        ) == []
+
+    def test_body_pragma_does_not_silence_other_statements(self):
+        # A pragma on one body line must not suppress findings anchored
+        # at a different statement.
+        assert rules(
+            """
+            def f(a_bytes, b_seconds):
+                x = 1  # statcheck: ignore[UNIT001]
+                return a_bytes + b_seconds
+            """
+        ) == ["UNIT001"]
+
+    def test_index_without_tree_stays_line_based(self):
+        source = (
+            "@deco  # statcheck: ignore[SHAPE005]\n"
+            "def f(n, k):\n"
+            "    return []\n"
+        )
+        plain = SuppressionIndex(source)
+        assert plain.is_suppressed(at("SHAPE005", 1))
+        assert not plain.is_suppressed(at("SHAPE005", 2))

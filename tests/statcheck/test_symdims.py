@@ -1,0 +1,166 @@
+"""Property tests for the symbolic dimension algebra.
+
+Algebraic laws are checked with Hypothesis over randomly built
+expressions, and the paper's tile/partition arithmetic (``T = m + r - 1``,
+``tiles = ceil((H + 2p - r + 1) / m)``, ``T^2 = sum of group slices``)
+is checked exhaustively over the Table I worker grids.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import PAPER_GRIDS
+from repro.statcheck.shapes import dims_equivalent
+from repro.statcheck.symdims import (
+    SymDim,
+    SymDimError,
+    ceildiv,
+    const,
+    floordiv,
+    parse_dim,
+    sum_dims,
+    sym,
+)
+
+NAMES = ("H", "W", "M", "R", "N", "P")
+
+atoms = st.one_of(
+    st.sampled_from([sym(n) for n in NAMES]),
+    st.integers(min_value=-4, max_value=9).map(const),
+)
+
+
+def _dims(depth: int = 2) -> st.SearchStrategy:
+    if depth == 0:
+        return atoms
+    sub = _dims(depth - 1)
+    return st.one_of(
+        atoms,
+        st.tuples(sub, sub).map(lambda ab: ab[0] + ab[1]),
+        st.tuples(sub, sub).map(lambda ab: ab[0] - ab[1]),
+        st.tuples(sub, atoms).map(lambda ab: ab[0] * ab[1]),
+    )
+
+
+dims = _dims()
+envs = st.fixed_dictionaries({n: st.integers(min_value=1, max_value=40) for n in NAMES})
+
+
+class TestAlgebraicLaws:
+    @given(a=dims, b=dims)
+    def test_addition_commutes(self, a, b):
+        assert a + b == b + a
+
+    @given(a=dims, b=dims)
+    def test_multiplication_commutes(self, a, b):
+        assert a * b == b * a
+
+    @given(a=dims, b=dims, c=dims)
+    def test_addition_associates(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+
+    @given(a=dims, b=dims, c=dims)
+    def test_multiplication_distributes(self, a, b, c):
+        assert a * (b + c) == a * b + a * c
+
+    @given(a=dims)
+    def test_subtraction_cancels(self, a):
+        assert (a - a) == const(0)
+
+    @given(a=dims, b=dims, env=envs)
+    @settings(max_examples=200)
+    def test_evaluate_is_a_homomorphism(self, a, b, env):
+        assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+        assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+
+    @given(a=dims, b=dims)
+    def test_structural_equality_implies_sample_equivalence(self, a, b):
+        if a == b:
+            assert dims_equivalent(a, b)
+
+
+class TestDivisionIdentities:
+    @given(n=st.integers(min_value=0, max_value=10_000),
+           d=st.integers(min_value=1, max_value=64))
+    def test_const_ceildiv_matches_python(self, n, d):
+        assert ceildiv(n, d).as_const() == Fraction(-(-n // d))
+        assert floordiv(n, d).as_const() == Fraction(n // d)
+
+    @given(env=envs, d=st.integers(min_value=1, max_value=7))
+    def test_symbolic_ceildiv_evaluates_to_ceiling(self, env, d):
+        expr = ceildiv(sym("H") + 2 * sym("P") - sym("R") + 1, d)
+        h, p, r = env["H"], env["P"], env["R"]
+        num = h + 2 * p - r + 1
+        assert expr.evaluate(env) == -(-num // d)
+
+    @given(a=dims, d=st.integers(min_value=1, max_value=9))
+    def test_exact_multiple_divides_exactly(self, a, d):
+        assert floordiv(a * d, d) == a
+        assert ceildiv(a * d, d) == a
+
+    def test_boundary_sizes_around_tile_edges(self):
+        # tiles = ceil(out / m) at the sizes where the count steps.
+        for out in (1, 2, 3, 4, 5, 7, 8, 9, 31, 32, 33):
+            for m in (1, 2, 4):
+                expr = ceildiv(sym("OUT"), m)
+                assert expr.evaluate_int({"OUT": out}) == -(-out // m)
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            ceildiv(sym("H"), 0)
+
+
+class TestPaperArithmetic:
+    def test_tile_size_formula(self):
+        t = parse_dim("M + R - 1")
+        assert t.evaluate_int({"M": 2, "R": 3}) == 4
+        assert t == sym("M") + sym("R") - 1
+
+    @pytest.mark.parametrize("ng,nc", PAPER_GRIDS)
+    def test_t2_equals_sum_of_group_slices(self, ng, nc):
+        """T^2 tile elements split round-robin over N_g groups cover
+        exactly T^2 — the invariant behind the scatter/gather."""
+        t2 = sym("T") ** 2
+        # Group g holds ceil((T^2 - g) / N_g) elements.
+        slices = [ceildiv(t2 - g, ng) for g in range(ng)]
+        total = sum_dims(slices)
+        assert dims_equivalent(total, t2)
+        for t in (2, 4, 6, 8):
+            assert total.evaluate_int({"T": t}) == t * t
+
+    @pytest.mark.parametrize("ng,nc", PAPER_GRIDS)
+    def test_batch_shards_cover_batch(self, ng, nc):
+        batch = sym("B") * nc
+        per = batch.exact_div(nc)
+        assert per is not None
+        assert sum_dims([per] * nc) == batch
+
+    def test_tile_count_formula_matches_geometry(self):
+        tiles = parse_dim("ceildiv(H + 2*P - R + 1, M)")
+        from repro.winograd.tiling import TileGrid
+
+        for h in (4, 6, 9, 32):
+            for pad in (0, 1):
+                grid = TileGrid(height=h, width=h, pad=pad, m=2, r=3)
+                env = {"H": h, "P": pad, "R": 3, "M": 2}
+                assert tiles.evaluate_int(env) == grid.tiles_high
+
+
+class TestParsing:
+    @given(a=dims)
+    def test_str_round_trips_through_parse(self, a):
+        assert parse_dim(str(a)) == a
+
+    def test_parse_rejects_calls_and_attributes(self):
+        with pytest.raises(SymDimError):
+            parse_dim("foo(H)")
+        with pytest.raises(SymDimError):
+            parse_dim("a.b")
+
+    def test_ceil_fraction_form(self):
+        assert parse_dim("ceil(H / 4)") == ceildiv(sym("H"), 4)
