@@ -1,6 +1,7 @@
 """Per-figure data generators and table rendering."""
 
 from .figures import (
+    fault_degradation_rows,
     fig01_rows,
     fig06_rows,
     fig07_rows,
@@ -17,6 +18,7 @@ from .figures import (
 from .tables import format_table
 
 __all__ = [
+    "fault_degradation_rows",
     "fig01_rows",
     "fig06_rows",
     "fig07_rows",

@@ -287,6 +287,39 @@ def fig18_rows(batch: int = 256) -> List[Dict]:
     return rows
 
 
+def fault_degradation_rows(
+    message_bytes: int = 64 * 1024, seed: int = 0
+) -> List[Dict]:
+    """Degradation sweep (beyond the paper): every fault scenario on
+    every paper grid — collective slowdown versus the fault-free
+    machine, retransmissions, and recovery latency."""
+    from ..core.config import PAPER_GRIDS
+    from ..faults import run_scenario_on_grid, scenario_names
+
+    rows = []
+    for scenario in scenario_names():
+        for num_groups, num_clusters in PAPER_GRIDS:
+            row = run_scenario_on_grid(
+                scenario, num_groups, num_clusters,
+                seed=seed, message_bytes=message_bytes,
+            )
+            rows.append(
+                {
+                    "scenario": scenario,
+                    "grid": row["grid"],
+                    "ring_after": row["ring_size_after"],
+                    "baseline_us": row["baseline_s"] * 1e6,
+                    "faulted_us": row["faulted_s"] * 1e6,
+                    "slowdown": row["slowdown"],
+                    "retransmits": row["retransmits"],
+                    "dead": len(row["dead_workers"]),
+                    "reconfig_us": row["reconfig_latency_s"] * 1e6,
+                    "completed": row["completed"],
+                }
+            )
+    return rows
+
+
 def table1_rows() -> List[Dict]:
     """Table I: the three evaluated CNNs."""
     return [

@@ -12,6 +12,7 @@ import sys
 from typing import Callable, Dict, List
 
 from .analysis import (
+    fault_degradation_rows,
     fig01_rows,
     fig06_rows,
     fig07_rows,
@@ -112,6 +113,7 @@ FIGURES: Dict[str, Callable[[], List[dict]]] = {
     "fig18": fig18_rows,
     "table1": table1_rows,
     "table2": table2_rows,
+    "faults": fault_degradation_rows,
 }
 
 
@@ -163,6 +165,50 @@ def cmd_bench(args: argparse.Namespace) -> None:
     print(format_results(document))
     path = write_bench_json(document, Path(args.out))
     print(f"\nwrote {path}")
+
+
+def cmd_faults(args: argparse.Namespace) -> None:
+    """Run a named fault scenario and write its JSON report."""
+    from .faults import report_json, run_scenario, scenario_names
+
+    if args.list:
+        from .faults import SCENARIOS
+
+        for name in scenario_names():
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()
+            print(f"{name:<20} {doc[0] if doc else ''}")
+        return
+    grids = None
+    if args.grids:
+        grids = []
+        for token in args.grids.split(","):
+            ng, _, nc = token.strip().partition("x")
+            grids.append((int(ng), int(nc)))
+    try:
+        report = run_scenario(
+            args.scenario,
+            seed=args.seed,
+            message_bytes=args.message_bytes,
+            grids=grids,
+            include_iteration=not args.no_iteration,
+        )
+    except KeyError as exc:
+        sys.exit(str(exc.args[0]))
+    text = report_json(report)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        for row in report["grids"]:
+            print(f"{row['grid']:>10}  slowdown {row['slowdown']:.3f}x  "
+                  f"completed {row['completed']}  "
+                  f"retransmits {row['retransmits']}")
+        if "iteration" in report:
+            it = report["iteration"]
+            print(f" iteration  slowdown {it['slowdown']:.3f}x  "
+                  f"effective batch {it['effective_batch']}")
+        print(f"wrote {args.out}")
 
 
 def cmd_report(args: argparse.Namespace) -> None:
@@ -230,6 +276,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--list", action="store_true",
                          help="list registered benchmarks and exit")
     p_bench.set_defaults(func=cmd_bench)
+
+    p_flt = sub.add_parser(
+        "faults", help="run a fault scenario, write its JSON report"
+    )
+    p_flt.add_argument("--scenario", default="baseline",
+                       help="scenario name (see --list)")
+    p_flt.add_argument("--seed", type=int, default=0,
+                       help="fault-plan seed (report is byte-reproducible)")
+    p_flt.add_argument("--message-bytes", type=int, default=64 * 1024,
+                       help="gradient bytes per worker for the collective")
+    p_flt.add_argument("--grids", default=None, metavar="NGxNC,...",
+                       help="grids to run, e.g. 16x16,4x64 (default: all three)")
+    p_flt.add_argument("--no-iteration", action="store_true",
+                       help="skip the training-iteration impact section")
+    p_flt.add_argument("-o", "--out", default="FAULTS.json",
+                       help="output JSON path ('-' for stdout)")
+    p_flt.add_argument("--list", action="store_true",
+                       help="list scenarios and exit")
+    p_flt.set_defaults(func=cmd_faults)
 
     p_rep = sub.add_parser("report", help="write the full markdown report")
     p_rep.add_argument("-o", "--output", default="report.md")

@@ -28,6 +28,7 @@ from .dynamic_clustering import (
     candidate_grids,
     choose_clustering,
     choose_clustering_and_transform,
+    replan_for_survivors,
 )
 from .functional import (
     MptLayerMachine,
@@ -36,7 +37,7 @@ from .functional import (
     TrafficCounters,
 )
 from .perf_model import LayerPerf, PerfModel, PhasePerf, powered_links
-from .trainer import IterationResult, LayerReport, TrainingSimulator
+from .trainer import FaultImpact, IterationResult, LayerReport, TrainingSimulator
 
 __all__ = [
     "DEFAULT_FACTORS",
@@ -62,6 +63,7 @@ __all__ = [
     "candidate_grids",
     "choose_clustering",
     "choose_clustering_and_transform",
+    "replan_for_survivors",
     "MptLayerMachine",
     "MptNetworkMachine",
     "MptWorker",
@@ -70,6 +72,7 @@ __all__ = [
     "PerfModel",
     "PhasePerf",
     "powered_links",
+    "FaultImpact",
     "IterationResult",
     "LayerReport",
     "TrainingSimulator",

@@ -11,9 +11,9 @@ standalone FBFLY.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
-from ..netsim.engine import Message, NetworkSimulator
+from ..netsim.engine import FaultHooks, Message, NetworkSimulator
 from ..netsim.topology import GridLayout, Topology, hybrid
 from ..params import DEFAULT_PARAMS, HardwareParams
 from ..workloads.layers import ConvLayerSpec
@@ -84,9 +84,18 @@ def replay_on_machine(
     trace: TileTransferTrace,
     topology: Topology,
     params: HardwareParams = DEFAULT_PARAMS,
+    faults: "Optional[FaultHooks]" = None,
 ) -> ReplayResult:
-    """Inject every message at t = 0 and run to completion."""
-    sim = NetworkSimulator(topology, params, packet_bytes=params.data_packet_bytes)
+    """Inject every message at t = 0 and run to completion.
+
+    ``faults`` (a :class:`repro.netsim.engine.FaultHooks`, e.g. a
+    :class:`repro.faults.FaultInjector`) subjects the replay to link
+    outages and packet loss; ``None`` replays on the perfect machine,
+    bit-identically to before the fault path existed.
+    """
+    sim = NetworkSimulator(
+        topology, params, packet_bytes=params.data_packet_bytes, faults=faults
+    )
     state = {"finish": 0.0}
 
     def done(_msg: Message, time: float) -> None:

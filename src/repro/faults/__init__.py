@@ -1,0 +1,61 @@
+"""Fault injection & resilience for the simulated machine.
+
+Layers:
+
+* :mod:`plan` — fault models: seeded, deterministic :class:`FaultPlan`
+  schedules of link failures/repairs, dead workers, stragglers and
+  transient packet loss.
+* :mod:`injector` — :class:`FaultInjector`, the engine-facing hooks
+  (link-availability windows, hash-based per-packet loss decisions).
+* :mod:`resilience` — watchdog timeout detection plus degraded-ring
+  reconstruction via the Section IV host-bridge splice.
+* :mod:`scenarios` — named scenarios and the byte-reproducible JSON
+  report runner behind ``python -m repro faults``.
+
+The package is strictly opt-in: nothing in the simulator imports it,
+and installing no plan leaves every simulation bit-identical.
+"""
+
+from .injector import FaultInjector
+from .plan import (
+    FaultPlan,
+    LinkFault,
+    PacketLoss,
+    ResilienceConfig,
+    Straggler,
+    WorkerFault,
+)
+from .resilience import (
+    AttemptReport,
+    ResilientAllreduceResult,
+    baseline_ring_allreduce,
+    resilient_ring_allreduce,
+)
+from .scenarios import (
+    REPORT_SCHEMA,
+    SCENARIOS,
+    report_json,
+    run_scenario,
+    run_scenario_on_grid,
+    scenario_names,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "LinkFault",
+    "PacketLoss",
+    "ResilienceConfig",
+    "Straggler",
+    "WorkerFault",
+    "AttemptReport",
+    "ResilientAllreduceResult",
+    "baseline_ring_allreduce",
+    "resilient_ring_allreduce",
+    "REPORT_SCHEMA",
+    "SCENARIOS",
+    "report_json",
+    "run_scenario",
+    "run_scenario_on_grid",
+    "scenario_names",
+]

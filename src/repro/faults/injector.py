@@ -1,0 +1,120 @@
+"""Bridge from a :class:`FaultPlan` to the event engine's fault hooks.
+
+The injector compiles the plan against a concrete topology (worker
+faults expand to every link touching the worker) and answers the two
+questions the engine asks on its fault path: *is this link available
+now?* and *is this transmission lost?*
+
+Loss decisions are **counter-free**: each one is a pure hash of
+``(seed, link, flow, packet, attempt)``, so they do not depend on the
+order the event loop asks in.  Two runs of the same plan — or the same
+plan on a rebuilt simulator — drop exactly the same transmissions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Dict, List, Tuple
+
+from ..netsim.engine import FaultHooks
+from ..netsim.topology import Link, Topology
+from .plan import FaultPlan
+
+#: One compiled unavailability window.
+_Window = Tuple[float, float]
+
+
+def _unit_hash(*key: object) -> float:
+    """Deterministic uniform draw in [0, 1) from a structured key."""
+    digest = hashlib.blake2b(repr(key).encode("utf-8"), digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2.0**64
+
+
+class FaultInjector(FaultHooks):
+    """Engine-facing view of one :class:`FaultPlan`.
+
+    Counters (``packets_dropped``, ``retransmits``, ``packets_failed``)
+    accumulate across every simulator the injector is bound to, so a
+    multi-attempt resilient collective reports totals.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.retransmit_timeout_s = plan.resilience.retransmit_timeout_s
+        self.backoff_factor = plan.resilience.backoff_factor
+        self.max_retransmits = plan.resilience.max_retransmits
+        self.packets_dropped = 0
+        self.retransmits = 0
+        self.packets_failed = 0
+        self._windows: Dict[Tuple[int, int], List[_Window]] = {}
+        self._has_losses = bool(plan.losses)
+
+    # ---- compilation ------------------------------------------------------
+    def bind(self, topology: Topology) -> None:
+        """(Re)compile the plan's windows against ``topology``.
+
+        Called by every :class:`NetworkSimulator` the injector is passed
+        to; recompiling from the plan each time keeps binds idempotent
+        even after the resilience layer mutates the topology (host
+        bridges added by a splice never touch dead workers).
+        """
+        windows: Dict[Tuple[int, int], List[_Window]] = {}
+        for fault in self.plan.link_faults:
+            windows.setdefault((fault.src, fault.dst), []).append(
+                (fault.fail_s, fault.repair_s)
+            )
+        down_workers = {f.worker: f for f in self.plan.worker_faults}
+        if down_workers:
+            for link in topology.links:
+                for endpoint in (link.src, link.dst):
+                    fault = down_workers.get(endpoint)
+                    if fault is not None:
+                        windows.setdefault((link.src, link.dst), []).append(
+                            (fault.fail_s, fault.repair_s)
+                        )
+        for key in windows:
+            windows[key].sort()
+        self._windows = windows
+
+    # ---- engine hooks -----------------------------------------------------
+    def link_available_at(self, link: Link, now: float) -> float:
+        """Earliest time >= ``now`` the link is up (``inf`` = never)."""
+        spans = self._windows.get((link.src, link.dst))
+        if not spans:
+            return now
+        time = now
+        for fail_s, repair_s in spans:
+            if fail_s <= time < repair_s:
+                if math.isinf(repair_s):
+                    return math.inf
+                time = repair_s
+        return time
+
+    def drop_packet(self, link: Link, packet, time: float) -> bool:
+        if not self._has_losses:
+            return False
+        for loss in self.plan.losses:
+            if loss.loss_prob <= 0.0 or not loss.start_s <= time < loss.end_s:
+                continue
+            if loss.link_name_prefix is not None and not link.name.startswith(
+                loss.link_name_prefix
+            ):
+                continue
+            if loss.src is not None and loss.src != link.src:
+                continue
+            if loss.dst is not None and loss.dst != link.dst:
+                continue
+            draw = _unit_hash(
+                self.plan.seed,
+                link.src,
+                link.dst,
+                packet.flow_id,
+                packet.seq,
+                packet.attempt,
+                packet.hop_index,
+            )
+            if draw < loss.loss_prob:
+                self.packets_dropped += 1
+                return True
+        return False

@@ -1,0 +1,219 @@
+"""Fault models: seeded, deterministic schedules of machine failures.
+
+A :class:`FaultPlan` is pure data — *when* links and workers fail and
+repair, which workers straggle and by how much, and which link classes
+lose packets at what probability.  Plans carry a seed; every stochastic
+decision downstream (per-packet loss in the injector) is a pure hash of
+``(seed, packet identity)``, so a plan replays bit-identically
+regardless of event order, process, or platform — the same discipline
+the statcheck DET rules enforce on the simulator itself.
+
+All times are *simulated* seconds on the event engine's clock; nothing
+in this package may read the wall clock (rule DET006).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass(frozen=True)
+class LinkFault:
+    """One unidirectional link is down during ``[fail_s, repair_s)``.
+
+    ``repair_s = inf`` (the default) means the link never comes back;
+    packets queued on it strand, which is how collectives detect the
+    failure.
+    """
+
+    src: int
+    dst: int
+    fail_s: float = 0.0
+    repair_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.repair_s <= self.fail_s:
+            raise ValueError(
+                f"repair_s must be after fail_s, got [{self.fail_s}, {self.repair_s})"
+            )
+
+
+@dataclass(frozen=True)
+class WorkerFault:
+    """A worker is dead during ``[fail_s, repair_s)``.
+
+    The injector compiles a worker fault into link faults on every link
+    touching the worker (it can neither send, receive, nor forward), and
+    the resilience layer splices it out of its gradient ring.
+    """
+
+    worker: int
+    fail_s: float = 0.0
+    repair_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.repair_s <= self.fail_s:
+            raise ValueError(
+                f"repair_s must be after fail_s, got [{self.fail_s}, {self.repair_s})"
+            )
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """A worker runs ``slowdown``x slower during ``[start_s, end_s)``.
+
+    Stragglers do not affect the network simulation; synchronous SGD
+    waits for the slowest worker, so the trainer scales the critical
+    path's compute phases by the largest active factor.
+    """
+
+    worker: int
+    slowdown: float
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {self.slowdown}")
+
+
+@dataclass(frozen=True)
+class PacketLoss:
+    """Transient per-packet loss on matching links.
+
+    A transmission during ``[start_s, end_s)`` on a matching link is
+    lost with probability ``loss_prob``; matching is by link-name prefix
+    (e.g. ``"group"`` for the inter-cluster ring links, ``"cluster"``
+    for the intra-cluster FBFLY) and/or exact endpoints.  ``None``
+    matches anything.
+    """
+
+    loss_prob: float
+    link_name_prefix: str | None = None
+    src: int | None = None
+    dst: int | None = None
+    start_s: float = 0.0
+    end_s: float = math.inf
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_prob <= 1.0:
+            raise ValueError(f"loss_prob must be in [0, 1], got {self.loss_prob}")
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Detection and recovery knobs of the resilience layer.
+
+    These model the host's failure handling, not the paper's hardware:
+    the watchdog fires at ``max(watchdog_factor x expected collective
+    time, watchdog_floor_s)`` after the collective starts, and each host
+    bridge the degraded-ring splice adds costs ``bridge_setup_s`` of
+    control-plane latency (the host programs the splice, as in
+    Section IV's reconfiguration).
+    """
+
+    #: Watchdog deadline as a multiple of the fault-free closed-form
+    #: collective time.
+    watchdog_factor: float = 4.0
+    #: Lower bound on the watchdog timeout (covers tiny messages whose
+    #: closed-form time is dominated by noise terms).
+    watchdog_floor_s: float = 20e-6
+    #: Host control-plane latency per host bridge programmed during a
+    #: degraded-ring splice.
+    bridge_setup_s: float = 2e-6
+    #: Sender-side retransmission policy for lost packets.
+    retransmit_timeout_s: float = 1e-6
+    backoff_factor: float = 2.0
+    max_retransmits: int = 10
+
+    def __post_init__(self) -> None:
+        if self.watchdog_factor <= 1.0:
+            raise ValueError(
+                f"watchdog_factor must be > 1, got {self.watchdog_factor}"
+            )
+        if self.watchdog_floor_s <= 0.0:
+            raise ValueError(
+                f"watchdog_floor_s must be > 0, got {self.watchdog_floor_s}"
+            )
+        if self.bridge_setup_s < 0.0:
+            raise ValueError(
+                f"bridge_setup_s must be >= 0, got {self.bridge_setup_s}"
+            )
+        if self.retransmit_timeout_s <= 0.0:
+            raise ValueError(
+                f"retransmit_timeout_s must be > 0, got {self.retransmit_timeout_s}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.max_retransmits < 0:
+            raise ValueError(
+                f"max_retransmits must be >= 0, got {self.max_retransmits}"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults for one simulation.
+
+    The empty plan (no events) is the explicit statement that the
+    machine is perfect; installing it must leave every simulation
+    bit-identical to running without the faults package at all (a golden
+    test enforces this).
+    """
+
+    seed: int = 0
+    link_faults: Tuple[LinkFault, ...] = ()
+    worker_faults: Tuple[WorkerFault, ...] = ()
+    stragglers: Tuple[Straggler, ...] = ()
+    losses: Tuple[PacketLoss, ...] = ()
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+
+    @property
+    def is_empty(self) -> bool:
+        """No fault events at all (the perfect machine)."""
+        return not (
+            self.link_faults or self.worker_faults or self.stragglers or self.losses
+        )
+
+    def dead_workers_at(self, time_s: float) -> List[int]:
+        """Workers down at ``time_s``, sorted (the detection primitive —
+        a heartbeat monitor would observe exactly this set)."""
+        return sorted(
+            {
+                f.worker
+                for f in self.worker_faults
+                if f.fail_s <= time_s < f.repair_s
+            }
+        )
+
+    def straggler_factor(self, worker: int, time_s: float = 0.0) -> float:
+        """Largest active slowdown factor for ``worker`` at ``time_s``."""
+        factor = 1.0
+        for s in self.stragglers:
+            if s.worker == worker and s.start_s <= time_s < s.end_s:
+                factor = max(factor, s.slowdown)
+        return factor
+
+    def max_straggler_factor(self, time_s: float = 0.0) -> float:
+        """Largest active slowdown across all workers (the sync-SGD
+        critical path)."""
+        factor = 1.0
+        for s in self.stragglers:
+            if s.start_s <= time_s < s.end_s:
+                factor = max(factor, s.slowdown)
+        return factor
+
+    def permanent_dead_links_at(self, time_s: float) -> List[Tuple[int, int]]:
+        """Unidirectional ``(src, dst)`` pairs that are down at
+        ``time_s`` and never repair — the set the degraded-ring
+        reconstruction must route around (worker faults included)."""
+        pairs = {
+            (f.src, f.dst)
+            for f in self.link_faults
+            if f.fail_s <= time_s and math.isinf(f.repair_s)
+        }
+        return sorted(pairs)

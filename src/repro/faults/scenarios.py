@@ -1,0 +1,240 @@
+"""Named fault scenarios and the deterministic scenario runner.
+
+Each scenario is a recipe that, given a concrete reconfigured machine,
+produces a :class:`FaultPlan` targeting that machine's first logical
+ring (victims are picked deterministically from the ring order, so the
+same scenario name and seed always build the same plan).  The runner
+executes a scenario across the paper's three 256-worker grids —
+``(16 N_g, 16 N_c)``, ``(4 N_g, 64 N_c)``, ``(1 N_g, 256 N_c)`` — and
+emits a schema'd, byte-reproducible JSON report: collective slowdown
+versus the fault-free baseline, retransmit counts, detection and
+reconfiguration latency, and the training-iteration impact under
+synchronous SGD.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.config import PAPER_GRIDS, MachineConfig, w_mp_plus_plus
+from ..core.trainer import FaultImpact, TrainingSimulator
+from ..netsim.reconfiguration import ReconfiguredMachine, reconfigure
+from ..params import DEFAULT_PARAMS, HardwareParams
+from ..workloads.networks import wide_resnet_40_10
+from .plan import FaultPlan, LinkFault, PacketLoss, Straggler, WorkerFault
+from .resilience import baseline_ring_allreduce, resilient_ring_allreduce
+
+REPORT_SCHEMA = "repro.faults.report/v1"
+
+#: A scenario builds a plan against a concrete machine's first ring.
+ScenarioFn = Callable[[ReconfiguredMachine, int], FaultPlan]
+
+
+def _baseline(machine: ReconfiguredMachine, seed: int) -> FaultPlan:
+    """The perfect machine — the empty plan (sanity reference: zero
+    slowdown, zero retransmits, single completed attempt)."""
+    return FaultPlan(seed=seed)
+
+
+def _single_link_down(machine: ReconfiguredMachine, seed: int) -> FaultPlan:
+    """One unidirectional ring link dead from t = 0 (SerDes failure).
+
+    Both endpoints survive, so recovery flips the ring orientation and
+    the reverse-direction links carry the collective."""
+    ring = machine.logical_rings[0]
+    return FaultPlan(
+        seed=seed,
+        link_faults=(LinkFault(src=ring[0], dst=ring[1]),),
+    )
+
+
+def _dead_worker(machine: ReconfiguredMachine, seed: int) -> FaultPlan:
+    """One worker dead from t = 0; recovery splices it out of the ring
+    and the iteration proceeds at reduced effective batch."""
+    ring = machine.logical_rings[0]
+    return FaultPlan(
+        seed=seed,
+        worker_faults=(WorkerFault(worker=ring[len(ring) // 2]),),
+    )
+
+
+def _straggler(factor: float) -> ScenarioFn:
+    def build(machine: ReconfiguredMachine, seed: int) -> FaultPlan:
+        ring = machine.logical_rings[0]
+        return FaultPlan(
+            seed=seed,
+            stragglers=(Straggler(worker=ring[1], slowdown=factor),),
+        )
+
+    build.__doc__ = (
+        f"One worker computes {factor}x slower; synchronous SGD waits, "
+        "so the whole iteration stretches (the network is unaffected)."
+    )
+    return build
+
+
+def _lossy_inter_cluster(machine: ReconfiguredMachine, seed: int) -> FaultPlan:
+    """0.5% packet loss on every inter-cluster ring link; the engine
+    retransmits with exponential backoff and the collective completes,
+    slower, on the first attempt."""
+    return FaultPlan(
+        seed=seed,
+        losses=(PacketLoss(loss_prob=0.005, link_name_prefix="group"),),
+    )
+
+
+SCENARIOS: Dict[str, ScenarioFn] = {
+    "baseline": _baseline,
+    "single-link-down": _single_link_down,
+    "dead-worker": _dead_worker,
+    "straggler-1.5x": _straggler(1.5),
+    "straggler-4x": _straggler(4.0),
+    "lossy-inter-cluster": _lossy_inter_cluster,
+}
+
+
+def scenario_names() -> List[str]:
+    return list(SCENARIOS)
+
+
+def _grid_label(num_groups: int, num_clusters: int) -> str:
+    return f"{num_groups}Ng-{num_clusters}Nc"
+
+
+def run_scenario_on_grid(
+    name: str,
+    num_groups: int,
+    num_clusters: int,
+    seed: int = 0,
+    message_bytes: int = 64 * 1024,
+    params: HardwareParams = DEFAULT_PARAMS,
+) -> dict:
+    """One scenario on one paper grid; returns the per-grid report row.
+
+    Builds the machine twice — once for the fault-free baseline and once
+    for the fault run — because recovery may splice the topology.
+    """
+    if name not in SCENARIOS:
+        raise KeyError(
+            f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
+        )
+    build = SCENARIOS[name]
+
+    baseline_machine = reconfigure(16, 16, num_groups, params)
+    baseline = baseline_ring_allreduce(baseline_machine, 0, message_bytes, params)
+
+    machine = reconfigure(16, 16, num_groups, params)
+    plan = build(machine, seed)
+    result = resilient_ring_allreduce(machine, 0, message_bytes, plan, params)
+
+    return {
+        "grid": _grid_label(num_groups, num_clusters),
+        "ring_size": result.ring_size_before,
+        "ring_size_after": result.ring_size_after,
+        "baseline_s": baseline.finish_time_s,
+        "faulted_s": result.finish_time_s,
+        "slowdown": (
+            result.finish_time_s / baseline.finish_time_s
+            if baseline.finish_time_s
+            else 0.0
+        ),
+        "completed": result.completed,
+        "recovered": result.recovered,
+        "dead_workers": result.dead_workers,
+        "detection_latency_s": result.detection_latency_s,
+        "reconfig_latency_s": result.reconfig_latency_s,
+        "bridges_added": result.bridges_added,
+        "retransmits": result.retransmits,
+        "packets_dropped": result.packets_dropped,
+        "packets_failed": result.packets_failed,
+        "grad_renorm": result.grad_renorm,
+        "attempts": [
+            {
+                "ring_size": a.ring_size,
+                "start_s": a.start_s,
+                "finish_s": a.finish_s,
+                "completed": a.completed,
+                "messages": a.messages,
+                "reversed_ring": a.reversed_ring,
+            }
+            for a in result.attempts
+        ],
+    }
+
+
+def _iteration_impact(
+    plan: FaultPlan,
+    collective_overhead_s: float,
+    params: HardwareParams,
+) -> dict:
+    """Training-iteration impact of the plan under synchronous SGD
+    (paper workload: WRN-40-10 on the 256-worker w_mp++ machine)."""
+    machine = MachineConfig(params=params)
+    sim = TrainingSimulator(machine)
+    net = wide_resnet_40_10()
+    config = w_mp_plus_plus()
+    clean = sim.simulate_iteration(net, config)
+    impact = FaultImpact.from_plan(
+        plan, machine.workers, collective_overhead_s=collective_overhead_s
+    )
+    faulted = sim.simulate_iteration(net, config, faults=impact)
+    return {
+        "network": net.name,
+        "config": config.name,
+        "workers": machine.workers,
+        "baseline_s": clean.iteration_s,
+        "faulted_s": faulted.iteration_s,
+        "slowdown": (
+            faulted.iteration_s / clean.iteration_s if clean.iteration_s else 0.0
+        ),
+        "effective_batch": faulted.effective_batch or faulted.batch,
+        "grad_renorm": faulted.grad_renorm,
+        "compute_slowdown": impact.compute_slowdown,
+        "collective_scale": impact.collective_scale,
+    }
+
+
+def run_scenario(
+    name: str,
+    seed: int = 0,
+    message_bytes: int = 64 * 1024,
+    grids: Optional[List[Tuple[int, int]]] = None,
+    params: HardwareParams = DEFAULT_PARAMS,
+    include_iteration: bool = True,
+) -> dict:
+    """Run one named scenario across the paper grids.
+
+    The report is pure data derived from the simulated clock — running
+    the same (name, seed, message_bytes, grids) twice yields
+    byte-identical JSON (see :func:`report_json`).
+    """
+    grid_list = list(grids) if grids is not None else list(PAPER_GRIDS)
+    rows = [
+        run_scenario_on_grid(
+            name, ng, nc, seed=seed, message_bytes=message_bytes, params=params
+        )
+        for ng, nc in grid_list
+    ]
+    report = {
+        "schema": REPORT_SCHEMA,
+        "scenario": name,
+        "doc": (SCENARIOS[name].__doc__ or "").strip(),
+        "seed": seed,
+        "message_bytes": message_bytes,
+        "grids": rows,
+    }
+    if include_iteration:
+        # Detection + reconfiguration overhead measured on the first
+        # grid (the 16-ring the trainer's collective model uses).
+        first_machine = reconfigure(16, 16, grid_list[0][0], params)
+        plan = SCENARIOS[name](first_machine, seed)
+        overhead = rows[0]["detection_latency_s"] + rows[0]["reconfig_latency_s"]
+        report["iteration"] = _iteration_impact(plan, overhead, params)
+    return report
+
+
+def report_json(report: dict) -> str:
+    """Canonical serialisation: sorted keys, fixed separators, trailing
+    newline — two runs of the same scenario diff clean."""
+    return json.dumps(report, indent=2, sort_keys=True) + "\n"

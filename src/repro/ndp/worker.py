@@ -63,9 +63,18 @@ class NdpWorker:
         self.dram = DramModel(params=params)
         self.energy_model = EnergyModel(params)
 
-    def evaluate(self, block: WorkBlock) -> BlockTiming:
+    def evaluate(self, block: WorkBlock, slowdown: float = 1.0) -> BlockTiming:
         """Evaluate a block with systolic/DMA overlap (double buffering):
-        the block takes ``max(compute, dram)`` plus the vector tail."""
+        the block takes ``max(compute, dram)`` plus the vector tail.
+
+        ``slowdown`` models a straggling module (e.g. thermal clock
+        throttling, :mod:`repro.faults`): the clocked units — systolic
+        array and vector unit — run that factor slower, while DRAM
+        bandwidth and energy per operation are unchanged.  The default
+        of 1.0 is the fault-free path and alters nothing.
+        """
+        if slowdown < 1.0:
+            raise ValueError(f"slowdown must be >= 1, got {slowdown}")
         compute_s = 0.0
         macs = 0
         if block.gemm_count > 0:
@@ -77,6 +86,9 @@ class NdpWorker:
         vector_s = block.vector_flops / (
             self.params.vector_lanes * self.params.clock_hz
         )
+        if slowdown != 1.0:
+            compute_s *= slowdown
+            vector_s *= slowdown
         dram_s = self.dram.transfer_time(block.dram_bytes)
         time_s = max(compute_s, dram_s) + vector_s
 

@@ -8,12 +8,15 @@ from .collectives import (
     ring_allreduce,
     ring_allreduce_time,
 )
-from .engine import Message, NetworkSimulator
+from .engine import FaultHooks, Message, NetworkSimulator
 from .reconfiguration import (
     ReconfiguredMachine,
+    bridge_ring,
     paper_configurations,
     reconfigure,
+    splice_out,
 )
+from .tree_collective import TreeResult, binomial_tree_allreduce
 from .wormhole import WormholeSimulator, WormPacket
 from .topology import (
     GridLayout,
@@ -31,11 +34,16 @@ __all__ = [
     "fbfly_injection_rate",
     "ring_allreduce",
     "ring_allreduce_time",
+    "FaultHooks",
     "Message",
     "NetworkSimulator",
     "ReconfiguredMachine",
+    "TreeResult",
+    "binomial_tree_allreduce",
+    "bridge_ring",
     "paper_configurations",
     "reconfigure",
+    "splice_out",
     "WormholeSimulator",
     "WormPacket",
     "GridLayout",

@@ -25,11 +25,18 @@ from .engine import Message, NetworkSimulator
 
 @dataclass
 class CollectiveResult:
-    """Timing of one collective run."""
+    """Timing of one collective run.
+
+    ``completed`` is False when the run was cut off by ``deadline_s`` or
+    stranded by a fault (the event queue drained with transfers still
+    pending) — the timeout-detection signal the resilience layer
+    (:mod:`repro.faults`) acts on.
+    """
 
     finish_time_s: float
     total_bytes_on_wire: float
     messages: int
+    completed: bool = True
 
 
 class _Collector:
@@ -62,12 +69,13 @@ class _Collector:
         )
 
 
-@shaped("_, _, MB, ST -> _")
+@shaped("_, _, MB, ST, _ -> _")
 def ring_allreduce(
     sim: NetworkSimulator,
     nodes: Sequence[int],
     message_bytes: int,
     start_time: float = 0.0,
+    deadline_s: Optional[float] = None,
 ) -> CollectiveResult:
     """Pipelined ring all-reduce (reduce-scatter + all-gather) of
     ``message_bytes`` per node over ``nodes`` in ring order.
@@ -75,6 +83,10 @@ def ring_allreduce(
     Dependencies are explicit: a node forwards a slice at step ``k`` only
     once it has received that slice's step ``k - 1`` message, exactly like
     the update-counter dependency check in the NDP control unit.
+
+    ``deadline_s`` is a watchdog: the simulation stops there and the
+    result reports ``completed=False`` if any slice chain is still in
+    flight (or stranded on a failed link) at that point.
     """
     n = len(nodes)
     if n == 1:
@@ -87,10 +99,12 @@ def ring_allreduce(
     slice_sizes = [hi - lo for lo, hi in zip(bounds, bounds[1:])]
     total_steps = 2 * (n - 1)
     collector = _Collector(start_time)
+    progress = {"chains_done": 0, "chains_expected": 0}
 
     def send_step(position: int, slice_id: int, step: int, when: float) -> None:
         """Node at ring `position` forwards `slice_id` for `step`."""
         if step >= total_steps:
+            progress["chains_done"] += 1
             if when > collector.finish:
                 collector.finish = when
             return
@@ -113,34 +127,45 @@ def ring_allreduce(
     # reduce or broadcast, so their chains never start.
     for slice_id in range(n):
         if slice_sizes[slice_id]:
+            progress["chains_expected"] += 1
             send_step(slice_id, slice_id, 0, start_time)
-    sim.run()
-    return collector.result()
+    sim.run(until=deadline_s)
+    result = collector.result()
+    result.completed = progress["chains_done"] == progress["chains_expected"]
+    return result
 
 
-@shaped("_, _, BPP, ST -> _")
+@shaped("_, _, BPP, ST, _ -> _")
 def all_to_all(
     sim: NetworkSimulator,
     nodes: Sequence[int],
     bytes_per_pair: int,
     start_time: float = 0.0,
+    deadline_s: Optional[float] = None,
 ) -> CollectiveResult:
     """Every node sends ``bytes_per_pair`` to every other node (tile
-    gather/scatter traffic within a cluster)."""
+    gather/scatter traffic within a cluster).
+
+    ``deadline_s``: watchdog cut-off, as in :func:`ring_allreduce`.
+    """
     # One bound method shared by every pair — no per-message closure.
     collector = _Collector(start_time)
     delivered = collector.delivered
+    expected = 0
     for src in nodes:
         for dst in nodes:
             if src == dst:
                 continue
+            expected += 1
             sim.send(
                 Message(src=src, dst=dst, size_bytes=bytes_per_pair,
                         tag="a2a", on_complete=delivered),
                 start_time=start_time,
             )
-    sim.run()
-    return collector.result()
+    sim.run(until=deadline_s)
+    result = collector.result()
+    result.completed = collector.messages == expected
+    return result
 
 
 # ---- analytic cross-checks ---------------------------------------------------

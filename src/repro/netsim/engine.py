@@ -9,6 +9,14 @@ Messages are split into packets with a fixed header overhead, and
 completion callbacks let higher layers express dependencies (as the
 paper's update-counter task model does).
 
+An optional fault injector (:mod:`repro.faults`) can be attached at
+construction: links then honour availability windows (failures delay or
+permanently strand queued packets) and packets can be dropped on a hop,
+triggering sender-side retransmission with exponential backoff.  With no
+injector attached every branch below short-circuits on ``faults is
+None``, so fault support is zero-cost — and bit-identical — for the
+existing simulations.
+
 This is the Booksim substitute described in DESIGN.md: it models the
 quantities the evaluation depends on — serialisation bandwidth, hop
 latency, link contention and arbitration — at packet granularity, which
@@ -54,6 +62,11 @@ class _Packet:
     route: List[Link]
     hop_index: int
     message: Message
+    #: Position of this packet within its message (stable across
+    #: retransmissions; keys the injector's per-packet loss decision).
+    seq: int = 0
+    #: Transmission attempts of the *current* hop so far.
+    attempt: int = 0
 
 
 # Heap entries are plain ``(time, seq, action)`` tuples: the heap then
@@ -85,6 +98,20 @@ class _LinkServer:
         if not self.queues:
             self.busy = False
             return
+        faults = self.sim.faults
+        if faults is not None:
+            available_at = faults.link_available_at(self.link, self.sim.now)
+            if available_at > self.sim.now:
+                if available_at == float("inf"):
+                    # Permanently dead link: queued packets are stranded.
+                    # The event queue drains around them, so ``run()``
+                    # returns with their messages incomplete — that is
+                    # how higher layers detect the failure.
+                    self.busy = False
+                    return
+                self.busy = True
+                self.sim.schedule(available_at, self._serve_next)
+                return
         flow_id, queue = next(iter(self.queues.items()))
         # Uncontended fast path: with a single flow queued there is no
         # arbitration to perform, so a run of back-to-back packets is
@@ -108,14 +135,72 @@ class _LinkServer:
         rate = self.link.bytes_per_s
         latency = self.link.latency_s
         done_time = self.sim.now
-        for packet in batch:
-            done_time += packet.wire_bytes / rate
-            self.link.bytes_carried += packet.wire_bytes
-            self.sim.schedule(
-                done_time + latency, partial(self.sim._packet_arrived, packet)
-            )
+        if faults is None:
+            for packet in batch:
+                done_time += packet.wire_bytes / rate
+                self.link.bytes_carried += packet.wire_bytes
+                self.sim.schedule(
+                    done_time + latency, partial(self.sim._packet_arrived, packet)
+                )
+        else:
+            for packet in batch:
+                done_time += packet.wire_bytes / rate
+                self.link.bytes_carried += packet.wire_bytes
+                if faults.drop_packet(self.link, packet, done_time):
+                    self._handle_drop(packet, done_time, faults)
+                else:
+                    self.sim.schedule(
+                        done_time + latency,
+                        partial(self.sim._packet_arrived, packet),
+                    )
         counter_add("netsim.packets_served", len(batch))
         self.sim.schedule(done_time, self._serve_next)
+
+    def _handle_drop(self, packet: _Packet, done_time: float, faults) -> None:
+        """Sender-side recovery for a packet lost on this hop: retransmit
+        after a timeout with exponential backoff, up to the injector's
+        retry budget (exhaustion strands the message, like a dead link)."""
+        packet.attempt += 1
+        if packet.attempt > faults.max_retransmits:
+            faults.packets_failed += 1
+            return
+        faults.retransmits += 1
+        delay = faults.retransmit_timeout_s * (
+            faults.backoff_factor ** (packet.attempt - 1)
+        )
+        self.sim.schedule(done_time + delay, partial(self.enqueue, packet))
+
+
+class FaultHooks:
+    """Interface the engine expects from a fault injector.
+
+    :mod:`repro.faults` provides the real implementation; the engine only
+    depends on this duck-typed surface so netsim never imports the faults
+    package (no import cycle, and importing ``repro.faults`` cannot
+    change engine behaviour).
+    """
+
+    #: Sender-side retransmission policy for dropped packets.
+    retransmit_timeout_s: float = 1e-6
+    backoff_factor: float = 2.0
+    max_retransmits: int = 10
+    #: Counters the engine bumps (reported by the scenario runner).
+    retransmits: int = 0
+    packets_failed: int = 0
+
+    def bind(self, topology: Topology) -> None:
+        """Compile the plan against a concrete topology (worker faults
+        expand to the links touching the worker)."""
+        raise NotImplementedError
+
+    def link_available_at(self, link: Link, now: float) -> float:
+        """Earliest time >= ``now`` the link can serialise a packet
+        (``inf`` = dead forever)."""
+        raise NotImplementedError
+
+    def drop_packet(self, link: Link, packet: "_Packet", time: float) -> bool:
+        """Whether this transmission of ``packet`` is lost on ``link``."""
+        raise NotImplementedError
 
 
 class NetworkSimulator:
@@ -127,6 +212,7 @@ class NetworkSimulator:
         params: HardwareParams = DEFAULT_PARAMS,
         packet_bytes: Optional[int] = None,
         max_batch_packets: int = 16,
+        faults: Optional["FaultHooks"] = None,
     ) -> None:
         if max_batch_packets < 1:
             raise ValueError(f"max_batch_packets must be >= 1, got {max_batch_packets}")
@@ -136,6 +222,11 @@ class NetworkSimulator:
         #: Upper bound on packets serialised per uncontended link event;
         #: 1 reproduces the strict one-event-per-packet engine.
         self.max_batch_packets = max_batch_packets
+        #: Optional fault injector (duck-typed: see :class:`FaultHooks`).
+        #: ``None`` keeps every fault branch off the hot path.
+        self.faults = faults
+        if faults is not None:
+            faults.bind(topology)
         self.now = 0.0
         self._events: List[_Event] = []
         self._seq = itertools.count()
@@ -201,7 +292,7 @@ class NetworkSimulator:
 
         def inject() -> None:
             server = self._server(route[0])
-            for wire_bytes in sizes:
+            for seq, wire_bytes in enumerate(sizes):
                 server.enqueue(
                     _Packet(
                         wire_bytes=wire_bytes,
@@ -209,6 +300,7 @@ class NetworkSimulator:
                         route=route,
                         hop_index=0,
                         message=message,
+                        seq=seq,
                     )
                 )
 
@@ -216,6 +308,7 @@ class NetworkSimulator:
 
     def _packet_arrived(self, packet: _Packet) -> None:
         packet.hop_index += 1
+        packet.attempt = 0
         if packet.hop_index == len(packet.route):
             message = packet.message
             message.pending_packets -= 1
@@ -236,5 +329,12 @@ class NetworkSimulator:
         self._events.clear()
         self._servers.clear()
         self.now = 0.0
+        # Restart the tie-break and flow counters too, so a reset
+        # simulator replays a workload with bit-identical event ordering
+        # (the sequence numbers feed both heap tie-breaks and, under
+        # faults, the per-packet loss decisions).
+        self._seq = itertools.count()
+        self._flow_ids = itertools.count()
         self.messages_delivered = 0
         self.bytes_delivered = 0
+        self.events_processed = 0

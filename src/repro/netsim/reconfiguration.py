@@ -20,7 +20,7 @@ the collective layer consumes directly.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Iterable, List, Tuple
 
 from ..params import DEFAULT_PARAMS, HardwareParams
 from .topology import GridLayout, Topology, hybrid
@@ -55,6 +55,58 @@ def _splice_plan(physical_groups: int, logical_groups: int) -> List[List[int]]:
     ]
 
 
+def bridge_ring(
+    topology: Topology,
+    ring_order: List[int],
+    params: HardwareParams = DEFAULT_PARAMS,
+) -> int:
+    """Close a worker sequence into a full-bandwidth cycle.
+
+    Every consecutive pair (including the wrap-around) that lacks a
+    full-width link gets a host bridge, exactly as dynamic clustering's
+    splice points do.  Returns the number of bridged pairs — the
+    quantity the resilience layer charges reconfiguration latency for.
+    A ring of one worker needs no links at all.
+    """
+    if len(ring_order) < 2:
+        return 0
+    latency = params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
+    added = 0
+    for a, b in zip(ring_order, ring_order[1:] + ring_order[:1]):
+        existing = topology.neighbors(a).get(b)
+        if existing is None or existing.bytes_per_s < params.full_link_bytes_per_s:
+            topology.add_bidirectional(
+                a, b, params.full_link_bytes_per_s, latency,
+                name="host-bridge",
+            )
+            added += 1
+    return added
+
+
+def splice_out(
+    topology: Topology,
+    ring_order: List[int],
+    dead: Iterable[int],
+    params: HardwareParams = DEFAULT_PARAMS,
+) -> Tuple[List[int], int]:
+    """Cut ``dead`` workers out of a logical ring via host bridges.
+
+    This is the degraded-ring reconstruction of :mod:`repro.faults`: the
+    host bridges each gap a removed worker leaves (the same splicing
+    mechanism dynamic clustering uses, Section IV), so the surviving
+    members form a full-bandwidth ring again.  Returns the surviving
+    ring order and the number of bridges added.  Adjacent dead workers
+    collapse into one gap; splicing down to a single survivor yields a
+    one-worker ring (no links needed).
+    """
+    dead_set = frozenset(dead)
+    survivors = [w for w in ring_order if w not in dead_set]
+    if not survivors:
+        raise ValueError("cannot splice every worker out of the ring")
+    bridges = bridge_ring(topology, survivors, params)
+    return survivors, bridges
+
+
 def reconfigure(
     physical_groups: int,
     clusters: int,
@@ -75,7 +127,6 @@ def reconfigure(
         )
     topology, layout = hybrid(physical_groups, clusters, params)
     merge_sets = _splice_plan(physical_groups, logical_groups)
-    latency = params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
 
     logical_rings: List[List[int]] = []
     for merge in merge_sets:
@@ -90,13 +141,7 @@ def reconfigure(
         # endpoints does not suffice for collective traffic; the host
         # provides a full-width path (the paper assumes reconfiguration
         # costs no bandwidth).
-        for a, b in zip(ring_order, ring_order[1:] + ring_order[:1]):
-            existing = topology.neighbors(a).get(b)
-            if existing is None or existing.bytes_per_s < params.full_link_bytes_per_s:
-                topology.add_bidirectional(
-                    a, b, params.full_link_bytes_per_s, latency,
-                    name="host-bridge",
-                )
+        bridge_ring(topology, ring_order, params)
         logical_rings.append(ring_order)
     return ReconfiguredMachine(
         topology=topology,

@@ -21,11 +21,16 @@ from .engine import Message, NetworkSimulator
 
 @dataclass
 class TreeResult:
-    """Timing of one tree all-reduce."""
+    """Timing of one tree all-reduce.
+
+    ``completed`` is False when ``deadline_s`` cut the run off (or a
+    fault stranded a round) before the broadcast finished.
+    """
 
     finish_time_s: float
     total_bytes_on_wire: float
     steps: int
+    completed: bool = True
 
 
 def binomial_tree_allreduce(
@@ -33,18 +38,22 @@ def binomial_tree_allreduce(
     nodes: Sequence[int],
     message_bytes: int,
     start_time: float = 0.0,
+    deadline_s: Optional[float] = None,
 ) -> TreeResult:
     """Binomial-tree reduce to ``nodes[0]`` followed by binomial-tree
     broadcast: ``2 * ceil(log2 n)`` rounds, full message each hop.
 
     Dependencies are explicit: a node only forwards in round ``k`` after
     it has finished receiving its round-``k`` children.
+
+    ``deadline_s`` is a watchdog: the simulation stops there and the
+    result reports ``completed=False`` if any round is still in flight.
     """
     n = len(nodes)
     if n == 1:
         return TreeResult(finish_time_s=start_time, total_bytes_on_wire=0.0, steps=0)
     rounds = (n - 1).bit_length()
-    stats = {"bytes": 0.0, "finish": start_time}
+    stats = {"bytes": 0.0, "finish": start_time, "done": False}
     #: ready[i] = simulated time at which rank i's partial sum is ready.
     ready: Dict[int, float] = {i: start_time for i in range(n)}
     pending = {"count": 0}
@@ -94,6 +103,7 @@ def binomial_tree_allreduce(
     # Broadcast phase: mirror image, root fans out.
     def broadcast_round(k: int) -> None:
         if k >= rounds:
+            stats["done"] = True
             return
         step = 1 << (rounds - 1 - k)
         arrivals = {"outstanding": 0}
@@ -116,12 +126,13 @@ def binomial_tree_allreduce(
             broadcast_round(k + 1)
 
     reduce_round(0)
-    sim.run()
+    sim.run(until=deadline_s)
     del done_flag
     return TreeResult(
         finish_time_s=stats["finish"],
         total_bytes_on_wire=stats["bytes"],
         steps=2 * rounds,
+        completed=bool(stats["done"]),
     )
 
 

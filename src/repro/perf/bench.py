@@ -114,6 +114,22 @@ def _bench_netsim_all_to_all() -> None:
     all_to_all(sim, list(range(16)), 10_000)
 
 
+def _bench_faults_degraded_allreduce() -> None:
+    """Resilient all-reduce on the 16-ring: fault-free baseline plus a
+    one-dead-worker detect/splice/re-run recovery."""
+    from ..faults import FaultPlan, WorkerFault
+    from ..faults.resilience import baseline_ring_allreduce, resilient_ring_allreduce
+    from ..netsim.reconfiguration import reconfigure
+
+    baseline_machine = reconfigure(16, 16, 16)
+    baseline_ring_allreduce(baseline_machine, 0, 64 * 1024)
+    machine = reconfigure(16, 16, 16)
+    ring = machine.logical_rings[0]
+    plan = FaultPlan(seed=0, worker_faults=(WorkerFault(worker=ring[8]),))
+    result = resilient_ring_allreduce(machine, 0, 64 * 1024, plan)
+    assert result.completed and result.recovered
+
+
 BENCHMARKS: Dict[str, Callable[[], None]] = {
     "fig7": _bench_fig7,
     "fig15": _bench_fig15,
@@ -122,6 +138,7 @@ BENCHMARKS: Dict[str, Callable[[], None]] = {
     "winograd_kernels": _bench_winograd_kernels,
     "netsim_allreduce": _bench_netsim_allreduce,
     "netsim_all_to_all": _bench_netsim_all_to_all,
+    "faults_degraded_allreduce": _bench_faults_degraded_allreduce,
 }
 
 

@@ -1,4 +1,4 @@
-"""Determinism lint (``DET001``–``DET005``).
+"""Determinism lint (``DET001``–``DET006``).
 
 The event engine, the collectives and the task scheduler all assume a
 bit-reproducible run: every tie-break, iteration order and random draw
@@ -11,6 +11,7 @@ fallbacks, float equality on accumulated simulated time).
 from __future__ import annotations
 
 import ast
+from pathlib import Path
 from typing import Dict, Iterator, List, Optional, Set
 
 from ..engine import Context, Rule, register
@@ -238,6 +239,59 @@ class IdentityOrdering(Rule):
                     node,
                     "id()-derived keys/ordering differ between runs; key on a "
                     "stable index or name instead",
+                )
+
+
+#: Packages whose results must be pure functions of their inputs: the
+#: event engine and the fault subsystem both promise bit-reproducible
+#: replays, so the wall clock may never leak into them.
+_SIMULATED_TIME_PACKAGES = ("netsim", "faults")
+
+#: `time.<fn>` entry points that read the host clock.
+_WALL_CLOCK = {
+    "time", "time_ns", "perf_counter", "perf_counter_ns",
+    "monotonic", "monotonic_ns", "process_time", "process_time_ns",
+}
+
+
+@register
+class WallClockInSimulation(Rule):
+    id = "DET006"
+    name = "wall-clock-in-simulation"
+    description = (
+        "time.time()/time.perf_counter()-style host-clock reads inside "
+        "repro.netsim or repro.faults; these packages run on the "
+        "simulated clock and must replay bit-identically, so timestamps "
+        "must come from the event engine, never the host."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        parts = Path(ctx.path).parts
+        if not any(pkg in parts for pkg in _SIMULATED_TIME_PACKAGES):
+            return
+        aliases = _module_aliases(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = _dotted(node.func)
+            if dotted is None:
+                continue
+            canonical = _canonical(dotted, aliases)
+            head, _, fn = canonical.rpartition(".")
+            if head == "time" and fn in _WALL_CLOCK:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{dotted}() reads the host clock inside a "
+                    "simulated-time package; use the event engine's "
+                    "`now` instead",
+                )
+            elif canonical in ("datetime.datetime.now", "datetime.datetime.utcnow"):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{dotted}() reads the host clock inside a "
+                    "simulated-time package; thread timestamps in as data",
                 )
 
 

@@ -1,0 +1,166 @@
+"""Engine fault hooks: zero-cost-when-disabled, windows, loss/retransmit."""
+
+from repro.faults import FaultInjector, FaultPlan, LinkFault, PacketLoss, ResilienceConfig
+from repro.netsim import (
+    Message,
+    NetworkSimulator,
+    all_to_all,
+    ring,
+    ring_allreduce,
+)
+from repro.params import DEFAULT_PARAMS
+
+
+def _allreduce_times(faults=None):
+    sim = NetworkSimulator(
+        ring(8), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes,
+        faults=faults,
+    )
+    return ring_allreduce(sim, list(range(8)), 40_000)
+
+
+def _all_to_all_times(faults=None):
+    sim = NetworkSimulator(ring(8), faults=faults)
+    return all_to_all(sim, list(range(8)), 4_000)
+
+
+class TestEmptyPlanBitIdentity:
+    """The empty plan must be indistinguishable from no injector at all."""
+
+    def test_allreduce_timestamps_identical(self):
+        clean = _allreduce_times()
+        injected = _allreduce_times(FaultInjector(FaultPlan()))
+        assert injected.finish_time_s == clean.finish_time_s
+        assert injected.messages == clean.messages
+        assert injected.total_bytes_on_wire == clean.total_bytes_on_wire
+        assert injected.completed and clean.completed
+
+    def test_all_to_all_timestamps_identical(self):
+        clean = _all_to_all_times()
+        injected = _all_to_all_times(FaultInjector(FaultPlan()))
+        assert injected.finish_time_s == clean.finish_time_s
+        assert injected.messages == clean.messages
+
+    def test_empty_plan_counters_stay_zero(self):
+        injector = FaultInjector(FaultPlan())
+        _allreduce_times(injector)
+        assert injector.packets_dropped == 0
+        assert injector.retransmits == 0
+        assert injector.packets_failed == 0
+
+
+class TestLinkAvailabilityWindows:
+    def test_repairable_outage_delays_delivery(self):
+        done = {}
+
+        def finish(msg, time):
+            done["t"] = time
+
+        def run(faults):
+            sim = NetworkSimulator(ring(4), faults=faults)
+            sim.send(Message(src=0, dst=1, size_bytes=4_000, on_complete=finish))
+            sim.run()
+            return done.pop("t")
+
+        clean_t = run(None)
+        outage = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(src=0, dst=1, fail_s=0.0, repair_s=5e-6),))
+        )
+        assert run(outage) >= 5e-6 > clean_t
+
+    def test_permanent_dead_link_strands_message(self):
+        sim = NetworkSimulator(
+            ring(4),
+            faults=FaultInjector(FaultPlan(link_faults=(LinkFault(src=0, dst=1),))),
+        )
+        stranded = Message(src=0, dst=1, size_bytes=4_000)
+        sim.send(stranded)
+        # Traffic on unaffected links still flows (reverse direction).
+        alive = Message(src=1, dst=0, size_bytes=4_000)
+        sim.send(alive)
+        sim.run()
+        assert stranded.completed_at is None
+        assert alive.completed_at is not None
+
+    def test_outage_starting_mid_run_only_affects_later_packets(self):
+        injector = FaultInjector(
+            FaultPlan(link_faults=(LinkFault(src=0, dst=1, fail_s=1e-3),))
+        )
+        sim = NetworkSimulator(ring(4), faults=injector)
+        early = Message(src=0, dst=1, size_bytes=1_000)
+        sim.send(early, start_time=0.0)
+        sim.run()
+        assert early.completed_at is not None
+
+
+class TestPacketLoss:
+    def _lossy_injector(self, prob, max_retransmits=10):
+        return FaultInjector(
+            FaultPlan(
+                seed=7,
+                losses=(PacketLoss(loss_prob=prob, link_name_prefix="ring"),),
+                resilience=ResilienceConfig(max_retransmits=max_retransmits),
+            )
+        )
+
+    def test_loss_triggers_retransmit_and_still_completes(self):
+        clean = _allreduce_times()
+        injector = self._lossy_injector(0.05)
+        lossy = _allreduce_times(injector)
+        assert injector.packets_dropped > 0
+        assert injector.retransmits == injector.packets_dropped
+        assert injector.packets_failed == 0
+        assert lossy.completed
+        assert lossy.finish_time_s > clean.finish_time_s
+
+    def test_loss_is_deterministic_across_runs(self):
+        first = self._lossy_injector(0.05)
+        a = _allreduce_times(first)
+        second = self._lossy_injector(0.05)
+        b = _allreduce_times(second)
+        assert a.finish_time_s == b.finish_time_s
+        assert first.packets_dropped == second.packets_dropped
+
+    def test_certain_loss_exhausts_retries_and_strands(self):
+        injector = self._lossy_injector(1.0, max_retransmits=2)
+        result = _allreduce_times(injector)
+        assert not result.completed
+        assert injector.packets_failed > 0
+
+    def test_unit_hash_is_pure_and_seeded(self):
+        from repro.faults.injector import _unit_hash
+
+        draw = _unit_hash(0, 1, 2, 3, 4, 0, 0)
+        assert draw == _unit_hash(0, 1, 2, 3, 4, 0, 0)
+        assert 0.0 <= draw < 1.0
+        # Different seed or different packet identity -> different draw.
+        assert draw != _unit_hash(1, 1, 2, 3, 4, 0, 0)
+        assert draw != _unit_hash(0, 1, 2, 3, 5, 0, 0)
+
+    def test_endpoint_filter_restricts_loss(self):
+        injector = FaultInjector(
+            FaultPlan(losses=(PacketLoss(loss_prob=1.0, src=2, dst=3),))
+        )
+        sim = NetworkSimulator(ring(4), faults=injector)
+        unaffected = Message(src=0, dst=1, size_bytes=4_000)
+        sim.send(unaffected)
+        sim.run()
+        assert unaffected.completed_at is not None
+        assert injector.packets_dropped == 0
+
+
+class TestDeadlineRun:
+    def test_run_until_stops_clock_at_deadline(self):
+        sim = NetworkSimulator(ring(4))
+        late = Message(src=0, dst=2, size_bytes=1_000_000)
+        sim.send(late)
+        final = sim.run(until=1e-9)
+        assert final == 1e-9
+        assert late.completed_at is None
+
+    def test_collective_deadline_marks_incomplete(self):
+        sim = NetworkSimulator(
+            ring(8), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        result = ring_allreduce(sim, list(range(8)), 40_000, deadline_s=1e-9)
+        assert not result.completed

@@ -1,0 +1,104 @@
+"""Fault-model dataclasses: validation and time-window queries."""
+
+import math
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    PacketLoss,
+    ResilienceConfig,
+    Straggler,
+    WorkerFault,
+)
+
+
+class TestValidation:
+    def test_link_fault_rejects_inverted_window(self):
+        with pytest.raises(ValueError):
+            LinkFault(src=0, dst=1, fail_s=2.0, repair_s=1.0)
+
+    def test_worker_fault_rejects_empty_window(self):
+        with pytest.raises(ValueError):
+            WorkerFault(worker=0, fail_s=1.0, repair_s=1.0)
+
+    def test_straggler_rejects_speedup(self):
+        with pytest.raises(ValueError):
+            Straggler(worker=0, slowdown=0.5)
+
+    def test_loss_prob_bounds(self):
+        with pytest.raises(ValueError):
+            PacketLoss(loss_prob=1.5)
+        with pytest.raises(ValueError):
+            PacketLoss(loss_prob=-0.1)
+
+    def test_resilience_knob_bounds(self):
+        with pytest.raises(ValueError):
+            ResilienceConfig(watchdog_factor=1.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(watchdog_floor_s=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(bridge_setup_s=-1.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(retransmit_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            ResilienceConfig(backoff_factor=0.5)
+        with pytest.raises(ValueError):
+            ResilienceConfig(max_retransmits=-1)
+
+
+class TestQueries:
+    def test_empty_plan(self):
+        plan = FaultPlan()
+        assert plan.is_empty
+        assert plan.dead_workers_at(0.0) == []
+        assert plan.max_straggler_factor() == 1.0
+        assert plan.permanent_dead_links_at(0.0) == []
+
+    def test_dead_workers_window(self):
+        plan = FaultPlan(
+            worker_faults=(
+                WorkerFault(worker=3, fail_s=1.0, repair_s=2.0),
+                WorkerFault(worker=1),
+            )
+        )
+        assert not plan.is_empty
+        assert plan.dead_workers_at(0.0) == [1]
+        assert plan.dead_workers_at(1.5) == [1, 3]
+        assert plan.dead_workers_at(2.0) == [1]
+
+    def test_straggler_factor_is_per_worker_max(self):
+        plan = FaultPlan(
+            stragglers=(
+                Straggler(worker=0, slowdown=1.5),
+                Straggler(worker=0, slowdown=4.0, start_s=1.0, end_s=2.0),
+                Straggler(worker=7, slowdown=2.0),
+            )
+        )
+        assert plan.straggler_factor(0, 0.0) == 1.5
+        assert plan.straggler_factor(0, 1.0) == 4.0
+        assert plan.straggler_factor(5, 0.0) == 1.0
+        assert plan.max_straggler_factor(1.5) == 4.0
+        assert plan.max_straggler_factor(3.0) == 2.0
+
+    def test_permanent_dead_links_ignores_repairable(self):
+        plan = FaultPlan(
+            link_faults=(
+                LinkFault(src=0, dst=1),
+                LinkFault(src=2, dst=3, fail_s=0.0, repair_s=5.0),
+            )
+        )
+        assert plan.permanent_dead_links_at(0.0) == [(0, 1)]
+        # A link that fails later is not dead yet.
+        plan2 = FaultPlan(link_faults=(LinkFault(src=0, dst=1, fail_s=9.0),))
+        assert plan2.permanent_dead_links_at(0.0) == []
+        assert plan2.permanent_dead_links_at(9.0) == [(0, 1)]
+
+    def test_repair_window_is_half_open(self):
+        plan = FaultPlan(
+            worker_faults=(WorkerFault(worker=0, fail_s=1.0, repair_s=2.0),)
+        )
+        assert plan.dead_workers_at(1.0) == [0]
+        assert plan.dead_workers_at(2.0) == []
+        assert math.isinf(WorkerFault(worker=0).repair_s)

@@ -1,0 +1,130 @@
+"""Timeout detection and degraded-ring recovery."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    LinkFault,
+    Straggler,
+    WorkerFault,
+    baseline_ring_allreduce,
+    resilient_ring_allreduce,
+)
+from repro.netsim.reconfiguration import reconfigure
+
+MSG = 16 * 1024
+
+
+def machine16():
+    return reconfigure(16, 16, 16)
+
+
+class TestFaultFreePath:
+    def test_empty_plan_single_attempt_matches_baseline(self):
+        baseline = baseline_ring_allreduce(machine16(), 0, MSG)
+        result = resilient_ring_allreduce(machine16(), 0, MSG, FaultPlan())
+        assert result.completed
+        assert not result.recovered
+        assert len(result.attempts) == 1
+        assert result.finish_time_s == baseline.finish_time_s
+        assert result.reconfig_latency_s == 0.0
+        assert result.grad_renorm == 1.0
+
+
+class TestDeadWorkerRecovery:
+    def test_dead_worker_is_spliced_out(self):
+        machine = machine16()
+        ring = machine.logical_rings[0]
+        dead = ring[5]
+        plan = FaultPlan(worker_faults=(WorkerFault(worker=dead),))
+        result = resilient_ring_allreduce(machine, 0, MSG, plan)
+        assert result.completed and result.recovered
+        assert result.dead_workers == [dead]
+        assert result.ring_size_before == 16
+        assert result.ring_size_after == 15
+        assert result.bridges_added >= 1
+        assert result.reconfig_latency_s > 0.0
+        assert result.detection_latency_s > 0.0
+        assert result.grad_renorm == pytest.approx(16 / 15)
+        # The degraded attempt starts after detection + reconfiguration.
+        assert result.attempts[1].start_s == pytest.approx(
+            result.detection_latency_s + result.reconfig_latency_s
+        )
+        assert result.attempts[1].ring_size == 15
+
+    def test_adjacent_double_death_recovers(self):
+        machine = machine16()
+        ring = machine.logical_rings[0]
+        plan = FaultPlan(
+            worker_faults=(
+                WorkerFault(worker=ring[5]),
+                WorkerFault(worker=ring[6]),
+            )
+        )
+        result = resilient_ring_allreduce(machine, 0, MSG, plan)
+        assert result.completed and result.recovered
+        assert result.ring_size_after == 14
+        assert result.grad_renorm == pytest.approx(16 / 14)
+
+    def test_graceful_degradation_not_a_hang(self):
+        """The acceptance property: a dead worker never hangs the run —
+        the collective finishes at a bounded, reported time."""
+        machine = machine16()
+        plan = FaultPlan(
+            worker_faults=(WorkerFault(worker=machine.logical_rings[0][8]),)
+        )
+        result = resilient_ring_allreduce(machine, 0, MSG, plan)
+        baseline = baseline_ring_allreduce(machine16(), 0, MSG)
+        assert result.completed
+        assert result.finish_time_s < 100 * baseline.finish_time_s
+
+
+class TestDeadLinkRecovery:
+    def test_unidirectional_dead_link_reverses_ring(self):
+        machine = machine16()
+        ring = machine.logical_rings[0]
+        plan = FaultPlan(link_faults=(LinkFault(src=ring[0], dst=ring[1]),))
+        result = resilient_ring_allreduce(machine, 0, MSG, plan)
+        assert result.completed and result.recovered
+        assert result.dead_workers == []
+        assert result.ring_size_after == 16
+        assert result.attempts[1].reversed_ring
+
+    def test_repairable_outage_needs_no_reconfiguration(self):
+        machine = machine16()
+        ring = machine.logical_rings[0]
+        # Out for 1us starting at t=0; retransmission-free, just delayed.
+        plan = FaultPlan(
+            link_faults=(
+                LinkFault(src=ring[0], dst=ring[1], fail_s=0.0, repair_s=1e-6),
+            )
+        )
+        result = resilient_ring_allreduce(machine, 0, MSG, plan)
+        assert result.completed
+        baseline = baseline_ring_allreduce(machine16(), 0, MSG)
+        assert result.finish_time_s >= baseline.finish_time_s
+
+
+class TestStragglersDoNotTouchTheNetwork:
+    def test_straggler_plan_leaves_collective_untouched(self):
+        plan = FaultPlan(stragglers=(Straggler(worker=0, slowdown=4.0),))
+        result = resilient_ring_allreduce(machine16(), 0, MSG, plan)
+        baseline = baseline_ring_allreduce(machine16(), 0, MSG)
+        assert result.completed and not result.recovered
+        assert result.finish_time_s == baseline.finish_time_s
+
+
+class TestDeterminism:
+    def test_recovery_replays_bit_identically(self):
+        def run():
+            machine = machine16()
+            plan = FaultPlan(
+                seed=3,
+                worker_faults=(WorkerFault(worker=machine.logical_rings[0][8]),),
+            )
+            return resilient_ring_allreduce(machine, 0, MSG, plan)
+
+        a, b = run(), run()
+        assert a.finish_time_s == b.finish_time_s
+        assert a.detection_latency_s == b.detection_latency_s
+        assert [x.finish_s for x in a.attempts] == [x.finish_s for x in b.attempts]

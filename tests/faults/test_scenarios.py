@@ -1,0 +1,136 @@
+"""Scenario registry, byte-reproducible reports, and the golden
+no-faults-imported identity check."""
+
+import json
+import os
+import subprocess
+import sys
+
+from repro.faults import (
+    REPORT_SCHEMA,
+    SCENARIOS,
+    report_json,
+    run_scenario,
+    run_scenario_on_grid,
+    scenario_names,
+)
+
+# The timestamps a simulation must produce whether or not repro.faults
+# was ever imported into the process (zero-cost-when-disabled).
+_GOLDEN_SCRIPT = """
+import sys
+from repro.netsim import (
+    NetworkSimulator, all_to_all, flattened_butterfly_2d, ring, ring_allreduce,
+)
+from repro.params import DEFAULT_PARAMS
+
+sim = NetworkSimulator(ring(8), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes)
+ar = ring_allreduce(sim, list(range(8)), 40_000)
+sim2 = NetworkSimulator(flattened_butterfly_2d(4, 4))
+a2a = all_to_all(sim2, list(range(16)), 4_000)
+assert "repro.faults" not in sys.modules, "faults must not be imported here"
+print(repr((ar.finish_time_s, ar.messages, a2a.finish_time_s, a2a.messages)))
+"""
+
+
+class TestGoldenNoFaultIdentity:
+    def test_timestamps_identical_with_and_without_faults_package(self):
+        """Acceptance: allreduce + all-to-all completion timestamps are
+        identical whether repro.faults is imported (as it is in this
+        process) or never loaded at all (the subprocess)."""
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+        env["PYTHONPATH"] = os.path.abspath(src)
+        out = subprocess.run(
+            [sys.executable, "-c", _GOLDEN_SCRIPT],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        from repro.netsim import (
+            NetworkSimulator,
+            all_to_all,
+            flattened_butterfly_2d,
+            ring,
+            ring_allreduce,
+        )
+        from repro.params import DEFAULT_PARAMS
+
+        assert "repro.faults" in sys.modules  # this process has it loaded
+        sim = NetworkSimulator(
+            ring(8), packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        ar = ring_allreduce(sim, list(range(8)), 40_000)
+        sim2 = NetworkSimulator(flattened_butterfly_2d(4, 4))
+        a2a = all_to_all(sim2, list(range(16)), 4_000)
+        here = repr((ar.finish_time_s, ar.messages, a2a.finish_time_s, a2a.messages))
+        assert out.stdout.strip() == here
+
+
+class TestScenarioRegistry:
+    def test_expected_scenarios_registered(self):
+        assert set(scenario_names()) == {
+            "baseline",
+            "single-link-down",
+            "dead-worker",
+            "straggler-1.5x",
+            "straggler-4x",
+            "lossy-inter-cluster",
+        }
+
+    def test_every_scenario_has_a_doc(self):
+        for name in scenario_names():
+            assert (SCENARIOS[name].__doc__ or "").strip(), name
+
+    def test_unknown_scenario_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            run_scenario_on_grid("no-such-scenario", 16, 16)
+
+
+class TestReports:
+    def test_baseline_row_has_unit_slowdown(self):
+        row = run_scenario_on_grid("baseline", 16, 16, message_bytes=16 * 1024)
+        assert row["slowdown"] == 1.0
+        assert row["completed"] and not row["recovered"]
+        assert row["retransmits"] == 0
+        assert row["dead_workers"] == []
+
+    def test_dead_worker_row_reports_recovery(self):
+        row = run_scenario_on_grid("dead-worker", 16, 16, message_bytes=16 * 1024)
+        assert row["completed"] and row["recovered"]
+        assert row["ring_size_after"] == 15
+        assert row["reconfig_latency_s"] > 0
+        assert row["slowdown"] > 1.0
+        assert len(row["attempts"]) == 2
+
+    def test_report_schema_and_byte_identity(self):
+        kwargs = dict(
+            seed=0, message_bytes=16 * 1024, grids=[(16, 16)],
+            include_iteration=False,
+        )
+        a = report_json(run_scenario("dead-worker", **kwargs))
+        b = report_json(run_scenario("dead-worker", **kwargs))
+        assert a == b
+        report = json.loads(a)
+        assert report["schema"] == REPORT_SCHEMA
+        assert report["scenario"] == "dead-worker"
+        assert report["seed"] == 0
+        assert [row["grid"] for row in report["grids"]] == ["16Ng-16Nc"]
+
+    def test_straggler_scenario_iteration_slowdown(self):
+        report = run_scenario(
+            "straggler-1.5x", message_bytes=16 * 1024, grids=[(16, 16)],
+        )
+        it = report["iteration"]
+        # Collective unaffected, iteration stretched by the straggler.
+        assert report["grids"][0]["slowdown"] == 1.0
+        assert 1.0 < it["slowdown"] <= 1.5 + 1e-9
+        assert it["effective_batch"] == 256
+
+    def test_dead_worker_iteration_reduces_batch(self):
+        report = run_scenario(
+            "dead-worker", message_bytes=16 * 1024, grids=[(16, 16)],
+        )
+        it = report["iteration"]
+        assert it["effective_batch"] == 255
+        assert it["grad_renorm"] > 1.0

@@ -52,3 +52,25 @@ class TestWorker:
         timing = worker.evaluate(WorkBlock())
         assert timing.time_s == 0.0
         assert timing.energy.total_j == 0.0
+
+
+class TestStragglerSlowdown:
+    def test_slowdown_scales_clocked_units_only(self):
+        worker = NdpWorker()
+        block = WorkBlock(gemm_count=1, gemm_m=128, gemm_k=128, gemm_n=128,
+                          vector_flops=1e6, dram_bytes=1e5)
+        base = worker.evaluate(block)
+        slow = worker.evaluate(block, slowdown=3.0)
+        assert slow.compute_s == pytest.approx(3.0 * base.compute_s)
+        assert slow.vector_s == pytest.approx(3.0 * base.vector_s)
+        assert slow.dram_s == base.dram_s
+        assert slow.energy.total_j == base.energy.total_j
+
+    def test_unit_slowdown_is_bit_identical(self):
+        worker = NdpWorker()
+        block = WorkBlock(gemm_count=1, gemm_m=64, gemm_k=64, gemm_n=64)
+        assert worker.evaluate(block, slowdown=1.0) == worker.evaluate(block)
+
+    def test_speedup_rejected(self):
+        with pytest.raises(ValueError):
+            NdpWorker().evaluate(WorkBlock(), slowdown=0.9)

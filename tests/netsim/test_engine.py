@@ -124,3 +124,66 @@ class TestEventKernel:
         sim.reset()
         assert sim.now == 0.0
         assert sim.messages_delivered == 0
+
+
+class TestEqualTimeEventOrdering:
+    """The heap tie-break: equal-time events must fire in schedule order
+    (the seq counter), never by comparing the action callables."""
+
+    def test_equal_time_events_fire_in_schedule_order(self):
+        sim = make_sim()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_fifo_within_each_timestamp(self):
+        sim = make_sim()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b1"))
+        sim.schedule(1.0, lambda: fired.append("a1"))
+        sim.schedule(2.0, lambda: fired.append("b2"))
+        sim.schedule(1.0, lambda: fired.append("a2"))
+        sim.run()
+        assert fired == ["a1", "a2", "b1", "b2"]
+
+    def test_events_scheduled_during_run_keep_order(self):
+        sim = make_sim()
+        fired = []
+
+        def spawn():
+            # Two children at the same (current) time: FIFO again.
+            sim.schedule(sim.now, lambda: fired.append("child1"))
+            sim.schedule(sim.now, lambda: fired.append("child2"))
+
+        sim.schedule(1.0, spawn)
+        sim.schedule(1.0, lambda: fired.append("sibling"))
+        sim.run()
+        assert fired == ["sibling", "child1", "child2"]
+
+    def test_reset_restarts_counters_for_bit_identical_replay(self):
+        """reset() must restart the tie-break and flow counters so a
+        replayed workload sees identical event ordering (a regression
+        guard: sequence numbers also key fault-injection decisions)."""
+        sim = make_sim()
+
+        def run_once():
+            messages = [
+                Message(src=0, dst=1, size_bytes=1_000),
+                Message(src=1, dst=2, size_bytes=1_000),
+                Message(src=0, dst=2, size_bytes=500),
+            ]
+            for message in messages:
+                sim.send(message)
+            sim.run()
+            return (
+                [m.completed_at for m in messages],
+                sim.events_processed,
+                next(sim._seq),
+            )
+
+        first = run_once()
+        sim.reset()
+        second = run_once()
+        assert first == second

@@ -85,3 +85,97 @@ class TestCollectivesOnLogicalRings:
             result = ring_allreduce(sim, ring_order, 100_000, start_time=start)
             durations.append(result.finish_time_s - start)
         assert max(durations) == pytest.approx(min(durations), rel=0.05)
+
+
+class TestSpliceOut:
+    """Degraded-ring reconstruction edge cases (used by repro.faults)."""
+
+    def _ring_is_closed(self, topology, ring_order):
+        full = DEFAULT_PARAMS.full_link_bytes_per_s
+        for a, b in zip(ring_order, ring_order[1:] + ring_order[:1]):
+            link = topology.neighbors(a).get(b)
+            assert link is not None, (a, b)
+            assert link.bytes_per_s >= full, (a, b)
+
+    def test_splice_out_middle_worker(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        dead = ring_order[8]
+        survivors, bridges = splice_out(machine.topology, ring_order, [dead])
+        assert dead not in survivors
+        assert len(survivors) == 15
+        assert bridges == 1
+        self._ring_is_closed(machine.topology, survivors)
+
+    def test_head_splice(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        survivors, bridges = splice_out(
+            machine.topology, ring_order, [ring_order[0]]
+        )
+        assert survivors == ring_order[1:]
+        # The gap spans the old wrap-around: tail -> new head.
+        assert bridges == 1
+        self._ring_is_closed(machine.topology, survivors)
+
+    def test_tail_splice(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        survivors, bridges = splice_out(
+            machine.topology, ring_order, [ring_order[-1]]
+        )
+        assert survivors == ring_order[:-1]
+        assert bridges == 1
+        self._ring_is_closed(machine.topology, survivors)
+
+    def test_adjacent_double_splice_collapses_to_one_gap(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        dead = [ring_order[5], ring_order[6]]
+        survivors, bridges = splice_out(machine.topology, ring_order, dead)
+        assert len(survivors) == 14
+        assert bridges == 1  # one bridge closes the double gap
+        self._ring_is_closed(machine.topology, survivors)
+
+    def test_splice_down_to_single_worker(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        survivors, bridges = splice_out(
+            machine.topology, ring_order, ring_order[1:]
+        )
+        assert survivors == [ring_order[0]]
+        assert bridges == 0  # a one-worker ring needs no links
+
+    def test_splicing_everyone_out_is_rejected(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        with pytest.raises(ValueError):
+            splice_out(machine.topology, ring_order, list(ring_order))
+
+    def test_spliced_ring_still_runs_the_collective(self):
+        from repro.netsim import splice_out
+
+        machine = reconfigure(16, 16, 16)
+        ring_order = machine.logical_rings[0]
+        survivors, _ = splice_out(machine.topology, ring_order, [ring_order[3]])
+        sim = NetworkSimulator(
+            machine.topology, packet_bytes=DEFAULT_PARAMS.collective_packet_bytes
+        )
+        result = ring_allreduce(sim, survivors, 100_000)
+        closed = ring_allreduce_time(
+            100_000, len(survivors), DEFAULT_PARAMS.full_link_bytes_per_s
+        )
+        assert result.completed
+        assert result.finish_time_s == pytest.approx(closed, rel=0.08)

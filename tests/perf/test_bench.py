@@ -81,3 +81,13 @@ class TestCli:
         with pytest.raises(SystemExit):
             cli_main(["bench", "--subset", "nope", "-o",
                       str(tmp_path / "x.json")])
+
+
+class TestFaultsBenchmark:
+    def test_degraded_allreduce_registered(self):
+        assert "faults_degraded_allreduce" in BENCHMARKS
+
+    def test_degraded_allreduce_runs(self):
+        # The body asserts completion+recovery itself; it just must not
+        # raise.
+        BENCHMARKS["faults_degraded_allreduce"]()

@@ -212,3 +212,71 @@ class TestConstantSeedFallback:
                 return np.random.default_rng(seed)
             """
         ) == []
+
+
+class TestWallClockInSimulation:
+    """DET006 — host-clock reads inside the simulated-time packages."""
+
+    def det6(self, source, path):
+        return [
+            (f.rule, f.line)
+            for f in check_source(
+                textwrap.dedent(source), path=path, select=["DET006"]
+            )
+        ]
+
+    def test_time_time_in_netsim_flagged(self):
+        assert self.det6(
+            """
+            import time
+            t = time.time()
+            """,
+            path="src/repro/netsim/engine.py",
+        ) == [("DET006", 3)]
+
+    def test_perf_counter_in_faults_flagged(self):
+        assert self.det6(
+            """
+            import time
+            t = time.perf_counter()
+            """,
+            path="src/repro/faults/injector.py",
+        ) == [("DET006", 3)]
+
+    def test_from_import_alias_resolved(self):
+        assert self.det6(
+            """
+            from time import perf_counter as clock
+            t = clock()
+            """,
+            path="src/repro/netsim/collectives.py",
+        ) == [("DET006", 3)]
+
+    def test_datetime_now_flagged(self):
+        assert self.det6(
+            """
+            import datetime
+            t = datetime.datetime.now()
+            """,
+            path="src/repro/faults/plan.py",
+        ) == [("DET006", 3)]
+
+    def test_outside_simulation_packages_quiet(self):
+        assert self.det6(
+            """
+            import time
+            t = time.time()
+            """,
+            path="src/repro/perf/bench.py",
+        ) == []
+
+    def test_simulated_time_attribute_quiet(self):
+        # `sim.now` and locals named time are not host-clock reads.
+        assert self.det6(
+            """
+            def f(sim):
+                time = sim.now
+                return time
+            """,
+            path="src/repro/netsim/engine.py",
+        ) == []
