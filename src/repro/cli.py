@@ -140,6 +140,10 @@ def cmd_statcheck(args: argparse.Namespace) -> None:
         argv.append("--changed")
     if args.base:
         argv.extend(["--base", args.base])
+    if args.rules:
+        argv.extend(["--rules", args.rules])
+    if args.effects:
+        argv.append("--effects")
     sys.exit(statcheck_main(argv))
 
 
@@ -260,6 +264,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="check only files changed vs the base ref")
     p_chk.add_argument("--base", default=None, metavar="REF",
                        help="base ref for --changed")
+    p_chk.add_argument("--rules", default="", metavar="IDS",
+                       help="rule ids or family prefixes to run (e.g. EFF,COMM001)")
+    p_chk.add_argument("--effects", action="store_true",
+                       help="emit per-function effect summaries as JSON")
     p_chk.set_defaults(func=cmd_statcheck)
 
     p_bench = sub.add_parser(

@@ -23,8 +23,10 @@ from .bench import (
     write_bench_json,
 )
 from .memoize import (
+    MEMOIZED_SWEEPS,
     SweepCache,
     canonicalize,
+    effect_free,
     memoize_sweep,
     register_canonical,
     sweep_key,
@@ -41,11 +43,13 @@ from .profiler import (
 
 __all__ = [
     "BENCHMARKS",
+    "MEMOIZED_SWEEPS",
     "SweepCache",
     "Timer",
     "canonicalize",
     "collect_machine_info",
     "counter_add",
+    "effect_free",
     "memoize_sweep",
     "phase",
     "profiling_disabled",

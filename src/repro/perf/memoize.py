@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import functools
 import hashlib
+import inspect
 import pickle
 from dataclasses import fields, is_dataclass
 from fractions import Fraction
@@ -30,6 +31,28 @@ from pathlib import Path
 from typing import Any, Callable, Dict, Optional, Tuple
 
 _CANONICAL_HOOKS: Dict[type, Callable[[Any], Any]] = {}
+
+#: Every function registered through :func:`memoize_sweep`, by
+#: qualified name.  The statcheck effect suite (EFF001) verifies each
+#: entry pure; tests iterate this to assert the registry and the
+#: static pass agree on what is memoized.
+MEMOIZED_SWEEPS: Dict[str, Callable] = {}
+
+
+def effect_free(fn: Callable) -> Callable:
+    """Vouch that ``fn`` is effect-free for the purposes of static
+    effect inference (``repro.statcheck.effects``).
+
+    The analysis treats a vouched function's summary as pure without
+    reading its body.  Reserve this for observability-only helpers
+    whose effects are *designed* to be invisible to cached results —
+    the profiler's ``phase``/``counter_add`` counters are the canonical
+    case.  A function whose effects feed back into return values must
+    never be vouched; the seeded-mutation tests exist to keep that
+    temptation expensive.
+    """
+    fn.__statcheck_effect_free__ = True
+    return fn
 
 _PRIMITIVES = (bool, int, float, str, bytes)
 
@@ -269,6 +292,19 @@ def memoize_sweep(
     """
 
     def decorate(func: Callable) -> Callable:
+        # Refuse **kwargs up front: a catch-all keyword dict invites
+        # passing arbitrary objects that bypass per-type canonical
+        # hooks, silently degrading key fidelity.  Raising at
+        # registration (import time) turns a latent cache-aliasing bug
+        # into an immediate, attributable failure.
+        for param in inspect.signature(func).parameters.values():
+            if param.kind is inspect.Parameter.VAR_KEYWORD:
+                raise TypeError(
+                    f"memoize_sweep refuses {func.__qualname__!r}: "
+                    f"**{param.name} makes the content key unfaithful "
+                    "(arbitrary keywords bypass canonical hooks); "
+                    "spell the cacheable keywords out explicitly"
+                )
         cache = SweepCache(disk_dir=disk_dir)
 
         @functools.wraps(func)
@@ -294,6 +330,7 @@ def memoize_sweep(
         wrapper.cache = cache
         wrapper.cache_info = cache.info
         wrapper.cache_clear = cache.clear
+        MEMOIZED_SWEEPS[func.__qualname__] = wrapper
         return wrapper
 
     if fn is not None:

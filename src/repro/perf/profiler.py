@@ -19,6 +19,8 @@ from __future__ import annotations
 import time
 from typing import Dict
 
+from .memoize import effect_free
+
 
 class Timer:
     """Context-manager stopwatch: ``with Timer() as t: ...; t.elapsed_s``."""
@@ -75,6 +77,10 @@ class _Noop:
 _NOOP_CTX = _Noop()
 
 
+# Vouched effect-free: the phase/counter registry is observability-only
+# state that never feeds back into any computed value, so memoized
+# callers may use it without poisoning their cache keys (EFF001).
+@effect_free
 def phase(name: str):
     """Attribute the wall time of a ``with`` block to ``name``."""
     if not _enabled:
@@ -82,6 +88,7 @@ def phase(name: str):
     return _PhaseTimer(name)
 
 
+@effect_free
 def counter_add(name: str, amount: int = 1) -> None:
     """Bump a named counter (no-op while profiling is disabled)."""
     if not _enabled:

@@ -103,6 +103,24 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to skip",
     )
     parser.add_argument(
+        "--rules",
+        default="",
+        metavar="IDS",
+        help=(
+            "comma-separated rule ids or family prefixes to run "
+            "(`--rules EFF001,COMM001` or `--rules EFF,SHAPE`); "
+            "combines with --select as a union"
+        ),
+    )
+    parser.add_argument(
+        "--effects",
+        action="store_true",
+        help=(
+            "emit the interprocedural effect summaries (JSON, one entry "
+            "per function under the given paths) instead of findings"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -132,6 +150,68 @@ def _split_ids(raw: str) -> Optional[List[str]]:
     return ids or None
 
 
+def _expand_rule_tokens(raw: str) -> Optional[List[str]]:
+    """Expand ``--rules`` tokens (exact ids or alphabetic family
+    prefixes like ``EFF``) against the catalogue.
+
+    Raises ``ValueError`` for a token matching nothing.
+    """
+    tokens = _split_ids(raw)
+    if tokens is None:
+        return None
+    catalogue = [rule.id for rule in all_rules()]
+    expanded: List[str] = []
+    for token in tokens:
+        if token in catalogue:
+            expanded.append(token)
+            continue
+        family = [rid for rid in catalogue if token.isalpha()
+                  and rid.rstrip("0123456789") == token]
+        if not family:
+            raise ValueError(f"unknown rule or family: {token!r}")
+        expanded.extend(family)
+    return expanded
+
+
+def _effects_report(paths: List[Path]) -> str:
+    """Per-function effect summaries (JSON) for every ``.py`` file under
+    ``paths``, one package analysis per touched package."""
+    import json
+
+    from .effects import analyze_path
+    from .engine import iter_python_files
+
+    requested = [Path(p).resolve() for p in paths]
+
+    def wanted(function_path: str) -> bool:
+        fp = Path(function_path)
+        for req in requested:
+            if fp == req or req in fp.parents:
+                return True
+        return False
+
+    analyses = {}
+    for file in iter_python_files(paths):
+        analysis = analyze_path(Path(file))
+        analyses[analysis.root or str(Path(file).resolve())] = analysis
+    packages = []
+    functions = []
+    for root in sorted(analyses):
+        analysis = analyses[root]
+        packages.append({"root": root, "stats": analysis.stats})
+        functions.extend(
+            summary.to_json()
+            for key in sorted(analysis.summaries)
+            for summary in (analysis.summaries[key],)
+            if wanted(summary.path)
+        )
+    return json.dumps(
+        {"version": 1, "packages": packages, "functions": functions},
+        indent=2,
+        sort_keys=True,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
@@ -153,7 +233,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"statcheck: {exc}", file=sys.stderr)
             return 2
         if not paths:
-            print(render_json([]) if args.json else render_text([]))
+            if args.effects:
+                print(_effects_report([]))
+            else:
+                print(render_json([]) if args.json else render_text([]))
             return 0
     else:
         paths = args.paths or _default_paths()
@@ -161,9 +244,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if missing:
         print(f"statcheck: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
+    if args.effects:
+        print(_effects_report(list(paths)))
+        return 0
     try:
+        selected = _split_ids(args.select)
+        expanded = _expand_rule_tokens(args.rules)
+        if expanded is not None:
+            selected = sorted(set(selected or []) | set(expanded))
         findings = check_paths(
-            paths, select=_split_ids(args.select), ignore=_split_ids(args.ignore)
+            paths, select=selected, ignore=_split_ids(args.ignore)
         )
     except ValueError as exc:
         print(f"statcheck: {exc}", file=sys.stderr)

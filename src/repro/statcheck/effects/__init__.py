@@ -1,0 +1,49 @@
+"""Interprocedural purity/effect inference for statcheck.
+
+Layout:
+
+- :mod:`.lattice` — effect atoms, the :class:`EffectSet` powerset
+  lattice, and post-fixpoint :class:`FunctionSummary` records;
+- :mod:`.intrinsics` — effect classifications for stdlib/numpy calls
+  and method-name fallback tables;
+- :mod:`.collect` — the per-file intraprocedural collector (alias
+  roots, direct atoms, call descriptors);
+- :mod:`.analysis` — package registry, call-graph resolution, and the
+  bottom-up SCC fixpoint (:func:`analyze_path`, :func:`effect_pass`);
+- :mod:`.guards` — the ``faults``-guard escape analysis behind EFF003;
+- :mod:`.comm` — exec-over-battery collective step conservation
+  checking behind COMM001.
+
+The rule family built on these passes lives in
+:mod:`repro.statcheck.rules.effect_rules`.
+"""
+
+from .analysis import (
+    PackageAnalysis,
+    analyze_path,
+    analyze_source,
+    effect_pass,
+    solve_fixpoint,
+    strongly_connected_components,
+)
+from .lattice import (
+    IMPURE_KINDS,
+    Effect,
+    EffectSet,
+    FunctionSummary,
+    describe,
+)
+
+__all__ = [
+    "Effect",
+    "EffectSet",
+    "FunctionSummary",
+    "IMPURE_KINDS",
+    "PackageAnalysis",
+    "analyze_path",
+    "analyze_source",
+    "describe",
+    "effect_pass",
+    "solve_fixpoint",
+    "strongly_connected_components",
+]

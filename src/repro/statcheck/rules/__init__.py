@@ -6,9 +6,17 @@ from __future__ import annotations
 from . import (  # noqa: F401
     config_rules,
     determinism,
+    effect_rules,
     perf_rules,
     shape_rules,
     units,
 )
 
-__all__ = ["config_rules", "determinism", "perf_rules", "shape_rules", "units"]
+__all__ = [
+    "config_rules",
+    "determinism",
+    "effect_rules",
+    "perf_rules",
+    "shape_rules",
+    "units",
+]

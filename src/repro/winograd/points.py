@@ -11,11 +11,13 @@ by the wincnn toolkit: ``0, 1, -1, 2, -2, 1/2, -1/2, 3, -3, ...``.
 from __future__ import annotations
 
 from fractions import Fraction
-from typing import List
+from typing import List, Tuple
 
-#: The canonical well-conditioned point sequence.  Extended on demand by
-#: :func:`default_points`.
-_BASE_SEQUENCE: List[Fraction] = [
+#: The canonical well-conditioned point sequence.  A tuple, not a list:
+#: `default_points` feeds memoized transform construction, so the
+#: sequence must be immutable module state (EFF001 flags a mutable
+#: global read inside a memoized closure).
+_BASE_SEQUENCE: Tuple[Fraction, ...] = (
     Fraction(0),
     Fraction(1),
     Fraction(-1),
@@ -31,7 +33,7 @@ _BASE_SEQUENCE: List[Fraction] = [
     Fraction(-4),
     Fraction(1, 4),
     Fraction(-1, 4),
-]
+)
 
 
 def default_points(count: int) -> List[Fraction]:

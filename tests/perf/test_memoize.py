@@ -229,3 +229,70 @@ class TestSweepCacheDisk:
         corrupt = SweepCache(disk_dir=tmp_path)
         found, _ = corrupt.lookup(key)
         assert not found
+
+
+class TestRegistrationPolicy:
+    """Static-verifiability guarantees enforced at decoration time."""
+
+    def test_kwargs_functions_are_refused(self):
+        with pytest.raises(TypeError, match="refuses"):
+            @memoize_sweep
+            def leaky(a, **rest):
+                return a
+
+    def test_refusal_names_the_offending_parameter(self):
+        with pytest.raises(TypeError, match=r"\*\*extras"):
+            @memoize_sweep
+            def leaky(a, **extras):
+                return a
+
+    def test_refusal_happens_before_any_call(self):
+        calls = []
+        try:
+            @memoize_sweep
+            def leaky(**kw):
+                calls.append(kw)
+        except TypeError:
+            pass
+        assert calls == []
+
+    def test_positional_only_and_defaults_are_accepted(self):
+        @memoize_sweep
+        def fine(a, b=2, *, c=3):
+            return a + b + c
+
+        assert fine(1) == 6
+
+    def test_registry_records_decorated_functions(self):
+        from repro.perf import MEMOIZED_SWEEPS
+
+        @memoize_sweep
+        def tracked(a):
+            return a
+
+        assert MEMOIZED_SWEEPS[tracked.__wrapped__.__qualname__] is tracked
+
+    def test_tree_kernels_are_registered(self):
+        import repro.core.dynamic_clustering  # noqa: F401
+        import repro.core.perf_model  # noqa: F401
+        from repro.perf import MEMOIZED_SWEEPS
+
+        assert "evaluate_layer_cached" in MEMOIZED_SWEEPS
+        assert "_choose_clustering_cached" in MEMOIZED_SWEEPS
+
+
+class TestEffectFree:
+    def test_marker_attribute_is_set(self):
+        from repro.perf import effect_free
+
+        def probe():
+            pass
+
+        assert effect_free(probe) is probe
+        assert probe.__statcheck_effect_free__ is True
+
+    def test_profiler_hooks_are_vouched(self):
+        from repro.perf.profiler import counter_add, phase
+
+        assert phase.__statcheck_effect_free__ is True
+        assert counter_add.__statcheck_effect_free__ is True

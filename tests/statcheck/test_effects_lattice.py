@@ -1,0 +1,178 @@
+"""Property tests for the effect lattice and the SCC fixpoint solver.
+
+The soundness argument of the interprocedural pass rests on two
+algebraic facts — ``EffectSet`` is a join-semilattice and every
+transfer function used by the solver is monotone — so both are checked
+as *properties* over randomized inputs, not just on hand-picked
+examples."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.statcheck.effects import EffectSet, solve_fixpoint
+from repro.statcheck.effects.analysis import strongly_connected_components
+
+# A small closed atom universe keeps the generated lattice elements
+# comparable (joins stay inside the universe by construction).
+_UNIVERSE = [
+    ("mutates", "a"),
+    ("mutates", "b"),
+    ("global-read", "g"),
+    ("global-write", "g"),
+    ("env", "os.environ"),
+    ("rng", "numpy.random.rand"),
+    ("clock", "time.time"),
+    ("io", "open()"),
+]
+
+effect_sets = st.builds(
+    EffectSet, st.sets(st.sampled_from(_UNIVERSE), max_size=len(_UNIVERSE))
+)
+
+
+# ---------------------------------------------------------------------------
+# lattice laws
+# ---------------------------------------------------------------------------
+
+
+@given(effect_sets, effect_sets)
+def test_join_commutative(x, y):
+    assert x.join(y) == y.join(x)
+
+
+@given(effect_sets, effect_sets, effect_sets)
+def test_join_associative(x, y, z):
+    assert x.join(y).join(z) == x.join(y.join(z))
+
+
+@given(effect_sets)
+def test_join_idempotent(x):
+    assert x.join(x) == x
+
+
+@given(effect_sets)
+def test_bottom_is_identity(x):
+    assert x.join(EffectSet.bottom()) == x
+    assert EffectSet.bottom().join(x) == x
+    assert EffectSet.bottom().leq(x)
+
+
+@given(effect_sets, effect_sets)
+def test_join_is_least_upper_bound(x, y):
+    j = x.join(y)
+    assert x.leq(j) and y.leq(j)
+    # Least: anything above both x and y is above the join.
+    assert all(atom in j for atom in x) and all(atom in j for atom in y)
+
+
+@given(effect_sets, effect_sets)
+def test_leq_antisymmetric(x, y):
+    if x.leq(y) and y.leq(x):
+        assert x == y
+
+
+# ---------------------------------------------------------------------------
+# fixpoint solver on random call graphs
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def call_graphs(draw):
+    """(direct, edges) over a random digraph — cycles very much allowed."""
+    n = draw(st.integers(min_value=1, max_value=10))
+    nodes = [f"f{i}" for i in range(n)]
+    direct = {
+        node: draw(
+            st.builds(
+                EffectSet,
+                st.sets(st.sampled_from(_UNIVERSE), max_size=3),
+            )
+        )
+        for node in nodes
+    }
+    edges = {}
+    for node in nodes:
+        callees = draw(
+            st.lists(st.sampled_from(nodes), max_size=4)
+        )
+        # Monotone transfer: keep a random subset of *kinds* (an
+        # atom-wise filter is monotone by construction).
+        out = []
+        for callee in callees:
+            kept = draw(
+                st.frozensets(
+                    st.sampled_from([a[0] for a in _UNIVERSE]),
+                    max_size=8,
+                )
+            )
+            out.append(
+                (
+                    callee,
+                    lambda s, kept=kept: EffectSet(
+                        a for a in s if a[0] in kept
+                    ),
+                )
+            )
+        edges[node] = out
+    return direct, edges
+
+
+@settings(max_examples=60, deadline=None)
+@given(call_graphs())
+def test_fixpoint_terminates_and_is_sound(graph):
+    direct, edges = graph
+    solution, sweeps = solve_fixpoint(direct, edges)
+    # Termination is bounded by the lattice height: each sweep that
+    # continues must have grown at least one of the component's sets.
+    assert sweeps <= len(direct) * (len(_UNIVERSE) + 2)
+    for node, base in direct.items():
+        # Solutions sit above the direct sets...
+        assert base.leq(solution[node])
+        # ...and are an actual fixpoint of the equations.
+        acc = base
+        for callee, transfer in edges.get(node, ()):
+            acc = acc.join(transfer(solution[callee]))
+        assert acc == solution[node]
+
+
+@settings(max_examples=60, deadline=None)
+@given(call_graphs())
+def test_fixpoint_is_least(graph):
+    """One more chaotic round over the solved system changes nothing —
+    i.e. the solver did not overshoot a smaller fixpoint reachable by
+    further iteration (joins only ever grow, so stability at the
+    solution certifies leastness for these monotone transfers)."""
+    direct, edges = graph
+    solution, _ = solve_fixpoint(direct, edges)
+    again = {
+        node: direct[node].join(
+            EffectSet(
+                a
+                for callee, transfer in edges.get(node, ())
+                for a in transfer(solution[callee])
+            )
+        )
+        for node in direct
+    }
+    assert again == solution
+
+
+@given(st.integers(min_value=1, max_value=9))
+def test_scc_cycle_detection(n):
+    """A single n-cycle is one component; a chain is n singletons."""
+    nodes = [f"n{i}" for i in range(n)]
+    ring = {nodes[i]: [nodes[(i + 1) % n]] for i in range(n)}
+    comps = strongly_connected_components(nodes, ring)
+    assert len(comps) == 1 and sorted(comps[0]) == sorted(nodes)
+    chain = {nodes[i]: [nodes[i + 1]] for i in range(n - 1)}
+    comps = strongly_connected_components(nodes, chain)
+    assert [len(c) for c in comps] == [1] * n
+    # Callees-first emission: each component only points at earlier ones.
+    seen = set()
+    for comp in comps:
+        for member in comp:
+            for callee in chain.get(member, ()):
+                assert callee in seen or callee in comp
+        seen.update(comp)
