@@ -48,7 +48,7 @@ def pytest_runtest_logreport(report):
 @pytest.fixture(scope="session", autouse=True)
 def aggregate_bench_json():
     """Funnel the session's per-benchmark wall times into the same
-    schema-1 JSON that ``python -m repro bench`` writes (one on-disk
+    schema-2 JSON that ``python -m repro bench`` writes (one on-disk
     format for the perf trajectory).  Opt in by pointing the
     ``REPRO_BENCH_JSON`` environment variable at the output path::
 

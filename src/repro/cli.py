@@ -163,7 +163,13 @@ def cmd_bench(args: argparse.Namespace) -> None:
     if args.subset:
         subset = [name.strip() for name in args.subset.split(",") if name.strip()]
     try:
-        document = run_benchmarks(subset=subset, rounds=args.rounds)
+        cache_dir = Path(args.cache_dir) if args.cache_dir else None
+        document = run_benchmarks(
+            subset=subset,
+            rounds=args.rounds,
+            workers=args.workers,
+            cache_dir=cache_dir,
+        )
     except ValueError as exc:
         sys.exit(str(exc))
     print(format_results(document))
@@ -279,8 +285,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_bench.add_argument("--rounds", type=int, default=3,
                          help="rounds per benchmark; best wall time is kept")
-    p_bench.add_argument("-o", "--out", default="BENCH_PR2.json",
-                         help="output JSON path (schema 1)")
+    p_bench.add_argument("--workers", type=int, default=1,
+                         help="also run each parallelisable sweep cold across "
+                              "N worker processes (deterministic merge; "
+                              "output is byte-identical to --workers 1)")
+    p_bench.add_argument("--cache-dir",
+                         help="shared sweep-cache directory for the parallel "
+                              "runs (default: a private temporary directory)")
+    p_bench.add_argument("-o", "--out", default="BENCH_PR7.json",
+                         help="output JSON path (schema 2)")
     p_bench.add_argument("--list", action="store_true",
                          help="list registered benchmarks and exit")
     p_bench.set_defaults(func=cmd_bench)

@@ -21,6 +21,7 @@ from ..core.config import PAPER_GRIDS, MachineConfig, w_mp_plus_plus
 from ..core.trainer import FaultImpact, TrainingSimulator
 from ..netsim.reconfiguration import ReconfiguredMachine, reconfigure
 from ..params import DEFAULT_PARAMS, HardwareParams
+from ..perf import memoize_sweep
 from ..workloads.networks import wide_resnet_40_10
 from .plan import FaultPlan, LinkFault, PacketLoss, Straggler, WorkerFault
 from .resilience import baseline_ring_allreduce, resilient_ring_allreduce
@@ -84,18 +85,38 @@ def _lossy_inter_cluster(machine: ReconfiguredMachine, seed: int) -> FaultPlan:
     )
 
 
-SCENARIOS: Dict[str, ScenarioFn] = {
-    "baseline": _baseline,
-    "single-link-down": _single_link_down,
-    "dead-worker": _dead_worker,
-    "straggler-1.5x": _straggler(1.5),
-    "straggler-4x": _straggler(4.0),
-    "lossy-inter-cluster": _lossy_inter_cluster,
-}
+#: The scenario table proper — a tuple of pairs, *immutable by
+#: construction*, so the memoized grid-row kernel below may read it
+#: while staying statically pure (the effect analysis only treats
+#: mutable-container globals as impure reads).
+_SCENARIO_BASE: Tuple[Tuple[str, ScenarioFn], ...] = (
+    ("baseline", _baseline),
+    ("single-link-down", _single_link_down),
+    ("dead-worker", _dead_worker),
+    ("straggler-1.5x", _straggler(1.5)),
+    ("straggler-4x", _straggler(4.0)),
+    ("lossy-inter-cluster", _lossy_inter_cluster),
+)
+
+#: Mapping view of the table for name-based consumers (CLI listing,
+#: docstring lookup).  Derived from ``_SCENARIO_BASE``; treat as
+#: read-only.
+SCENARIOS: Dict[str, ScenarioFn] = dict(_SCENARIO_BASE)
+
+
+def _scenario_builder(name: str) -> ScenarioFn:
+    """Pure lookup into the immutable scenario table."""
+    for scenario_name, build in _SCENARIO_BASE:
+        if scenario_name == name:
+            return build
+    raise KeyError(
+        f"unknown scenario {name!r}; available: "
+        + ", ".join(scenario_name for scenario_name, _ in _SCENARIO_BASE)
+    )
 
 
 def scenario_names() -> List[str]:
-    return list(SCENARIOS)
+    return [name for name, _ in _SCENARIO_BASE]
 
 
 def _grid_label(num_groups: int, num_clusters: int) -> str:
@@ -112,14 +133,36 @@ def run_scenario_on_grid(
 ) -> dict:
     """One scenario on one paper grid; returns the per-grid report row.
 
-    Builds the machine twice — once for the fault-free baseline and once
-    for the fault run — because recovery may splice the topology.
+    Memoized process-wide on the contents of every argument (the fault
+    engine is deterministic given the plan seed, so the row is a pure
+    function of this tuple); the returned row is shared across equal
+    calls and must be treated as read-only.
     """
     if name not in SCENARIOS:
         raise KeyError(
             f"unknown scenario {name!r}; available: {', '.join(SCENARIOS)}"
         )
-    build = SCENARIOS[name]
+    return _scenario_grid_row_cached(
+        name, num_groups, num_clusters, seed, message_bytes, params
+    )
+
+
+@memoize_sweep
+def _scenario_grid_row_cached(
+    name: str,
+    num_groups: int,
+    num_clusters: int,
+    seed: int,
+    message_bytes: int,
+    params: HardwareParams,
+) -> dict:
+    """The scenario-battery kernel: statically pure (EFF001), so the
+    parallel sweep executor may dispatch it to worker processes.
+
+    Builds the machine twice — once for the fault-free baseline and once
+    for the fault run — because recovery may splice the topology.
+    """
+    build = _scenario_builder(name)
 
     baseline_machine = reconfigure(16, 16, num_groups, params)
     baseline = baseline_ring_allreduce(baseline_machine, 0, message_bytes, params)

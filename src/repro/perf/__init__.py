@@ -14,10 +14,15 @@ Three pieces, used together by the figure/ablation sweeps:
   benchmark suite (or a named subset), records wall clock plus the
   profiling breakdown, and writes the ``BENCH_PR<k>.json`` perf
   trajectory file future PRs regress against.
+* :mod:`repro.perf.parallel` — the process-parallel sweep executor:
+  shards registered pure-kernel evaluations across worker processes
+  through a crash-safe shared disk cache and merges deterministically,
+  so ``repro bench --workers N`` is byte-identical to ``--workers 1``.
 """
 
 from .bench import (
     BENCHMARKS,
+    POINT_ENUMERATORS,
     collect_machine_info,
     run_benchmarks,
     write_bench_json,
@@ -25,15 +30,26 @@ from .bench import (
 from .memoize import (
     MEMOIZED_SWEEPS,
     SweepCache,
+    build_key,
     canonicalize,
     effect_free,
+    key_digest,
     memoize_sweep,
     register_canonical,
     sweep_key,
 )
+from .parallel import (
+    SWEEP_MODULES,
+    SweepPoint,
+    import_sweep_modules,
+    registered_caches,
+    run_points,
+    sweep_point,
+)
 from .profiler import (
     Timer,
     counter_add,
+    merge_profile,
     phase,
     profiling_disabled,
     profiling_enabled,
@@ -44,20 +60,30 @@ from .profiler import (
 __all__ = [
     "BENCHMARKS",
     "MEMOIZED_SWEEPS",
+    "POINT_ENUMERATORS",
+    "SWEEP_MODULES",
     "SweepCache",
+    "SweepPoint",
     "Timer",
+    "build_key",
     "canonicalize",
     "collect_machine_info",
     "counter_add",
     "effect_free",
+    "import_sweep_modules",
+    "key_digest",
     "memoize_sweep",
+    "merge_profile",
     "phase",
     "profiling_disabled",
     "profiling_enabled",
     "register_canonical",
+    "registered_caches",
     "reset_profile",
     "run_benchmarks",
+    "run_points",
     "snapshot_profile",
     "sweep_key",
+    "sweep_point",
     "write_bench_json",
 ]

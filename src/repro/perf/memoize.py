@@ -24,6 +24,7 @@ from __future__ import annotations
 import functools
 import hashlib
 import inspect
+import os
 import pickle
 from dataclasses import fields, is_dataclass
 from fractions import Fraction
@@ -209,6 +210,22 @@ def sweep_key(*objs: Any) -> Tuple[Any, ...]:
     return tuple(canonicalize(obj) for obj in objs)
 
 
+def build_key(args: Tuple[Any, ...], kwargs: Dict[str, Any]) -> Tuple[Any, Any]:
+    """The exact cache key a :func:`memoize_sweep` wrapper builds for a
+    call ``fn(*args, **kwargs)`` — a fixed ``(positional, keyword)``
+    2-tuple of canonical forms.  Exposed so out-of-line executors (the
+    parallel sweep runner) can key points without invoking the kernel.
+    """
+    if kwargs:
+        kw_key: Any = tuple(
+            (name, canonicalize(value))
+            for name, value in sorted(kwargs.items())
+        )
+    else:
+        kw_key = ()
+    return (tuple(map(canonicalize, args)), kw_key)
+
+
 def key_digest(key: Any) -> str:
     """Stable hex digest of a canonical key (used for disk-cache file
     names; the in-memory cache keeps the exact tuple, so digest
@@ -225,15 +242,34 @@ class SweepCache:
     Disk persistence pickles each value under its key digest inside
     ``disk_dir``; a digest file is only trusted after an exact key match
     against the tuple pickled next to the value.
+
+    The disk layer is safe to share between concurrent processes: every
+    write lands in a private temp file first and is published with an
+    atomic ``os.replace``, so a reader never observes a torn entry and
+    the last concurrent writer of one digest wins with a complete file
+    (both writers hold the same content, so either outcome is correct).
+    A crash mid-write leaves at most a stale ``*.tmp`` file, never a
+    corrupt published entry — and a corrupt file (e.g. from a pre-atomic
+    writer) reads as a miss, not an exception.
     """
 
     def __init__(self, disk_dir: Optional[Path] = None) -> None:
         self._memory: Dict[Any, Any] = {}
-        self.disk_dir = Path(disk_dir) if disk_dir is not None else None
-        if self.disk_dir is not None:
-            self.disk_dir.mkdir(parents=True, exist_ok=True)
+        self.disk_dir: Optional[Path] = None
+        if disk_dir is not None:
+            self.attach_disk(disk_dir)
         self.hits = 0
         self.misses = 0
+
+    def attach_disk(self, disk_dir: Path) -> None:
+        """Point this cache at a (possibly shared) persistence directory;
+        subsequent stores publish there and lookups read through misses."""
+        self.disk_dir = Path(disk_dir)
+        self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def detach_disk(self) -> None:
+        """Stop persisting; the in-memory contents are untouched."""
+        self.disk_dir = None
 
     def __len__(self) -> int:
         return len(self._memory)
@@ -268,7 +304,19 @@ class SweepCache:
         self._memory[key] = value
         path = self._disk_path(key)
         if path is not None:
-            path.write_bytes(pickle.dumps((key, value)))
+            # Write-temp-then-replace: the published path transitions
+            # atomically from absent/old-complete to new-complete.  The
+            # pid suffix keeps concurrent writers' temp files distinct.
+            tmp = path.with_name(f"{path.name}.{os.getpid()}.tmp")
+            tmp.write_bytes(pickle.dumps((key, value)))
+            os.replace(tmp, path)
+
+    def seed(self, key: Any, value: Any) -> None:
+        """Insert into the in-memory map only — no disk write, no
+        hit/miss accounting.  The parallel merge path uses this to
+        replay worker-computed values into the parent's cache in
+        deterministic key order."""
+        self._memory[key] = value
 
     def clear(self) -> None:
         self._memory.clear()
@@ -309,17 +357,7 @@ def memoize_sweep(
 
         @functools.wraps(func)
         def wrapper(*args: Any, **kwargs: Any) -> Any:
-            # Fixed (positional, keyword) 2-tuple shape — equivalent to
-            # sweep_key(args, sorted_kwargs) but without re-walking the
-            # args tuple through the generic sequence branch.
-            if kwargs:
-                kw_key: Any = tuple(
-                    (name, canonicalize(value))
-                    for name, value in sorted(kwargs.items())
-                )
-            else:
-                kw_key = ()
-            key = (tuple(map(canonicalize, args)), kw_key)
+            key = build_key(args, kwargs)
             found, value = cache.lookup(key)
             if found:
                 return value

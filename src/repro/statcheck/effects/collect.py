@@ -304,7 +304,7 @@ class _FunctionAnalyzer:
             else:
                 self.add(GLOBAL_WRITE, name)
 
-    def run(self) -> None:
+    def walk_function(self) -> None:
         for a in self.fn.args.defaults + self.fn.args.kw_defaults:
             if a is not None:
                 self.eval(a)
@@ -752,7 +752,7 @@ def collect_module(tree: ast.Module, path: str) -> ModuleInfo:
             decorators=decorators,
             vouched="effect_free" in decorators,
         )
-        _FunctionAnalyzer(fn, fninfo, aliases, mutable_globals).run()
+        _FunctionAnalyzer(fn, fninfo, aliases, mutable_globals).walk_function()
         info.functions.append(fninfo)
 
     def walk(node: ast.AST, class_name: Optional[str]) -> None:

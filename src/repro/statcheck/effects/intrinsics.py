@@ -170,6 +170,9 @@ _IO_MODULES = {
     "pprint", "traceback", "glob", "fnmatch", "csv", "sqlite3",
     "socket", "http", "urllib", "webbrowser", "atexit", "signal",
     "multiprocessing", "threading", "importlib", "pkgutil",
+    # process pools spawn workers and move pickles over pipes — every
+    # entry point is I/O from the analysis's point of view
+    "concurrent",
 }
 
 
@@ -252,6 +255,9 @@ IO_METHODS = {
     "glob", "rglob", "stat", "resolve", "open", "samefile", "absolute",
     "expanduser", "symlink_to", "hardlink_to", "chmod", "communicate",
     "wait", "poll", "terminate", "kill",
+    # concurrent.futures executor/future methods (receiver type is a
+    # pool handle; submitting work and fetching results crosses a pipe)
+    "submit", "shutdown", "result", "add_done_callback",
 }
 
 #: Effect-free methods (built-in containers, strings, numpy reductions,

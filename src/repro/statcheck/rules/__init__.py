@@ -7,6 +7,7 @@ from . import (  # noqa: F401
     config_rules,
     determinism,
     effect_rules,
+    parallel_rules,
     perf_rules,
     shape_rules,
     units,
@@ -16,6 +17,7 @@ __all__ = [
     "config_rules",
     "determinism",
     "effect_rules",
+    "parallel_rules",
     "perf_rules",
     "shape_rules",
     "units",

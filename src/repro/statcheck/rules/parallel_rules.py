@@ -1,0 +1,107 @@
+"""Parallel-dispatch safety (``PAR001``).
+
+The process-parallel sweep executor (:mod:`repro.perf.parallel`) merges
+worker results purely by content key — which is only sound when the
+dispatched kernel is a pure function of its canonicalized arguments.
+The runtime half of that gate is ``sweep_point`` refusing callables
+outside ``MEMOIZED_SWEEPS``; this module is the static half:
+
+``PAR001``
+    Every ``sweep_point(fn, ...)`` dispatch site must name a callable
+    whose interprocedural effect summary is empty of impure atoms.  A
+    target that mutates state, reads mutable globals, touches the
+    clock/RNG/environment or does IO would make the parallel merge
+    order observable — workers racing on a shared resource — so the
+    dispatch is flagged at the call site.  A target the analysis cannot
+    resolve at all is also flagged: purity that cannot be proven does
+    not license a process boundary.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional
+
+from ..effects import describe, effect_pass
+from ..engine import Context, Rule, register
+
+
+def _callee_name(call: ast.Call) -> Optional[str]:
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    return None
+
+
+def _dispatch_sites(tree: ast.Module) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and _callee_name(node) == "sweep_point":
+            yield node
+
+
+def _target_name(call: ast.Call) -> Optional[str]:
+    """Bare name of the dispatched callable (first positional arg)."""
+    if not call.args:
+        return None
+    target = call.args[0]
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return None
+
+
+@register
+class ImpureParallelDispatch(Rule):
+    id = "PAR001"
+    name = "impure-parallel-dispatch"
+    description = (
+        "A `sweep_point` dispatch targets a callable with a non-empty "
+        "impure effect summary (or one the effect analysis cannot "
+        "resolve); only statically pure memoized kernels may be "
+        "sharded across worker processes."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        sites = list(_dispatch_sites(ctx.tree))
+        if not sites:
+            return
+        analysis = effect_pass(ctx)
+        for call in sites:
+            bare = _target_name(call)
+            if bare is None:
+                yield ctx.finding(
+                    self, call,
+                    "`sweep_point` dispatches a computed callable; the "
+                    "effect analysis cannot prove it pure, so it must "
+                    "not cross a process boundary",
+                )
+                continue
+            candidates: List = [
+                summary
+                for summary in analysis.summaries.values()
+                if summary.qualname.rsplit(".", 1)[-1] == bare
+            ]
+            if not candidates:
+                yield ctx.finding(
+                    self, call,
+                    f"`sweep_point` dispatches `{bare}`, which the "
+                    "effect analysis cannot resolve; unproven purity "
+                    "does not license parallel dispatch",
+                )
+                continue
+            for summary in candidates:
+                for atom in summary.transitive.impure:
+                    origin = summary.origin_of(atom)
+                    via = (
+                        "" if origin == summary.qualname
+                        else f" (via `{origin}`)"
+                    )
+                    yield ctx.finding(
+                        self, call,
+                        f"`sweep_point` dispatches `{bare}`, which "
+                        f"{describe(atom)}{via}; worker processes would "
+                        "race on that state, so the deterministic-merge "
+                        "contract breaks",
+                    )

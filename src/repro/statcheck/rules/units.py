@@ -55,7 +55,7 @@ class _UnitPass:
         self.time_eq_nodes: List[ast.Compare] = []
 
     # ---- statements ------------------------------------------------------
-    def run(self, tree: ast.Module) -> None:
+    def run_pass(self, tree: ast.Module) -> None:
         self._exec_block(tree.body, {}, func_dim=None)
 
     def _exec_block(
@@ -369,7 +369,7 @@ def unit_pass(ctx: Context) -> _UnitPass:
     cached = ctx.cache.get("unit_pass")
     if cached is None:
         cached = _UnitPass()
-        cached.run(ctx.tree)
+        cached.run_pass(ctx.tree)
         ctx.cache["unit_pass"] = cached
     return cached
 

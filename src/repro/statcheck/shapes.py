@@ -394,7 +394,7 @@ class ShapePass:
                 elif entry.kind == "scalar" and entry.expr is not None:
                     scalars[name] = entry.expr
         state = _FnState(env=env, scalars=scalars, own=own, pass_=self, fn=fn)
-        state.run(fn.body)
+        state.exec_body(fn.body)
 
     # -- SHAPE003: transform-matrix conformance ----------------------------
 
@@ -701,7 +701,7 @@ class _FnState:
     pass_: ShapePass
     fn: ast.FunctionDef
 
-    def run(self, body: Sequence[ast.stmt]) -> None:
+    def exec_body(self, body: Sequence[ast.stmt]) -> None:
         for stmt in body:
             self._stmt(stmt)
 
@@ -725,14 +725,14 @@ class _FnState:
                 self.env[stmt.target.id] = None
             if isinstance(stmt, (ast.If, ast.While)):
                 self._value(stmt.test)
-            self.run(stmt.body)
-            self.run(stmt.orelse if hasattr(stmt, "orelse") else [])
+            self.exec_body(stmt.body)
+            self.exec_body(stmt.orelse if hasattr(stmt, "orelse") else [])
         elif isinstance(stmt, ast.Try):
-            self.run(stmt.body)
+            self.exec_body(stmt.body)
             for handler in stmt.handlers:
-                self.run(handler.body)
-            self.run(stmt.orelse)
-            self.run(stmt.finalbody)
+                self.exec_body(handler.body)
+            self.exec_body(stmt.orelse)
+            self.exec_body(stmt.finalbody)
         # nested function/class defs are visited by the outer walker
 
     def _assign(

@@ -23,8 +23,9 @@ class TestRunBenchmarks:
         monkeypatch.setitem(BENCHMARKS, "fake", lambda: calls.append(1))
         doc = run_benchmarks(subset=["fake"], rounds=2)
         assert len(calls) == 2
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert "machine" in doc
+        assert doc["workers"] == 1
         entry = doc["benchmarks"]["fake"]
         assert entry["wall_s"] == min(entry["rounds_s"])
         assert len(entry["rounds_s"]) == 2
@@ -52,7 +53,7 @@ class TestWriteBenchJson:
         out = tmp_path / "bench.json"
         write_bench_json({"benchmarks": {"x": {"wall_s": 1.0}}}, out)
         doc = json.loads(out.read_text())
-        assert doc["schema"] == 1
+        assert doc["schema"] == 2
         assert "python" in doc["machine"]
 
     def test_wraps_bare_entries(self, tmp_path):
@@ -91,3 +92,61 @@ class TestFaultsBenchmark:
         # The body asserts completion+recovery itself; it just must not
         # raise.
         BENCHMARKS["faults_degraded_allreduce"]()
+
+
+class TestParallelBench:
+    def test_result_digest_recorded_for_row_sweeps(self):
+        doc = run_benchmarks(subset=["fig15"], rounds=1)
+        entry = doc["benchmarks"]["fig15"]
+        assert len(entry["result_digest"]) == 64
+
+    def test_micro_benchmarks_have_no_digest(self):
+        doc = run_benchmarks(subset=["netsim_allreduce"], rounds=1)
+        assert "result_digest" not in doc["benchmarks"]["netsim_allreduce"]
+
+    def test_parallel_entry_matches_serial_digest(self):
+        doc = run_benchmarks(subset=["fig15"], rounds=1, workers=2)
+        entry = doc["benchmarks"]["fig15"]
+        parallel = entry["parallel"]
+        assert parallel["workers"] == 2
+        assert parallel["digest_match"] is True
+        assert parallel["result_digest"] == entry["result_digest"]
+        assert parallel["unique_points"] <= parallel["points"]
+        assert sum(w["points"] for w in parallel["worker_stats"]) \
+            == parallel["unique_points"]
+        assert all("hits" in w and "misses" in w
+                   for w in parallel["worker_stats"])
+        assert doc["workers"] == 2
+
+    def test_non_enumerable_benchmark_has_no_parallel_entry(self):
+        doc = run_benchmarks(subset=["netsim_allreduce"], rounds=1, workers=2)
+        assert "parallel" not in doc["benchmarks"]["netsim_allreduce"]
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_benchmarks(subset=["fig15"], workers=0)
+
+    def test_registry_derived_caches_cover_every_kernel(self):
+        from repro.perf import MEMOIZED_SWEEPS
+        from repro.perf.bench import _sweep_caches
+
+        caches = _sweep_caches()
+        # Satellite contract: the cache list is derived from the
+        # registry, so every registered kernel's cache is present.
+        for wrapper in MEMOIZED_SWEEPS.values():
+            assert any(cache is wrapper.cache for cache in caches)
+
+    def test_enumerators_cover_their_sweeps(self):
+        """Every enumerated sweep replays with zero misses after a
+        pre-warm — the coverage property the bit-identity rests on."""
+        from repro.perf.bench import POINT_ENUMERATORS, _sweep_caches
+        from repro.perf.parallel import run_points
+
+        caches = _sweep_caches()
+        for name in ("fig15", "fig16"):
+            for cache in caches:
+                cache.clear()
+            run_points(POINT_ENUMERATORS[name]())
+            misses_before = sum(c.misses for c in caches)
+            BENCHMARKS[name]()
+            assert sum(c.misses for c in caches) == misses_before
