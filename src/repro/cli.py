@@ -144,6 +144,10 @@ def cmd_statcheck(args: argparse.Namespace) -> None:
         argv.extend(["--rules", args.rules])
     if args.effects:
         argv.append("--effects")
+    if args.costs:
+        argv.append("--costs")
+    if args.update_cost_baseline:
+        argv.append("--update-cost-baseline")
     sys.exit(statcheck_main(argv))
 
 
@@ -274,6 +278,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="rule ids or family prefixes to run (e.g. EFF,COMM001)")
     p_chk.add_argument("--effects", action="store_true",
                        help="emit per-function effect summaries as JSON")
+    p_chk.add_argument("--costs", action="store_true",
+                       help="emit per-function symbolic cost report as JSON")
+    p_chk.add_argument("--update-cost-baseline", action="store_true",
+                       help="regenerate the COST003 complexity baseline")
     p_chk.set_defaults(func=cmd_statcheck)
 
     p_bench = sub.add_parser(

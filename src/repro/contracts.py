@@ -152,6 +152,140 @@ def parse_spec(spec: str) -> ShapeContract:
     return ShapeContract(spec=spec, args=args, returns=returns)
 
 
+# ---- cost contracts ----------------------------------------------------------
+
+#: Standard Winograd tile-geometry let-bindings, shared by most ``@cost``
+#: ``where=`` clauses.  Symbols follow the repo-wide contract convention:
+#: ``H``/``W`` input height/width, ``P`` padding, ``M`` output-tile size,
+#: ``R`` kernel size.  Bindings are sequential: later entries may use
+#: earlier names.
+TILE_GEOMETRY = (
+    "T=M+R-1; OH=H+2*P-R+1; OW=W+2*P-R+1; "
+    "TH=ceildiv(OH, M); TW=ceildiv(OW, M); "
+    "PH=(TH-1)*M+T; PW=(TW-1)*M+T"
+)
+
+
+@dataclass(frozen=True)
+class CostContract:
+    """A parsed ``@cost`` annotation.
+
+    ``flops``/``mem`` default to zero when not declared (and the static
+    checker verifies the derived quantity *is* zero).  ``ret`` declares
+    the value of a scalar-returning function (traffic helpers); for
+    list-returning helpers ``ret_len``/``ret_sum`` summarize the length
+    and per-component element sums instead and are verified by executing
+    the (pure) function over a battery of small inputs.  ``where`` is a
+    sequential let-chain (``"T=M+R-1; OH=H+2*P-R+1"``) closing derived
+    symbols over the function's contract symbols.  ``assume=True`` marks
+    the summary as trusted (escape hatch): nothing is derived, callers
+    substitute the declared polynomials as-is.
+    """
+
+    flops: Optional[SymDim] = None
+    mem: Optional[SymDim] = None
+    ret: Optional[SymDim] = None
+    ret_sum: Optional[Tuple[Optional[SymDim], ...]] = None
+    ret_len: Optional[SymDim] = None
+    where: Tuple[Tuple[str, SymDim], ...] = ()
+    assume: bool = False
+
+    def where_env(self) -> Dict[str, SymDim]:
+        """The let-chain closed into one substitution map."""
+        env: Dict[str, SymDim] = {}
+        for name, expr in self.where:
+            env[name] = expr.subs(env)
+        return env
+
+    def closed(self, expr: SymDim) -> SymDim:
+        """``expr`` with every ``where`` name replaced by its binding."""
+        return expr.subs(self.where_env())
+
+    def exec_only(self) -> bool:
+        """Whether the contract is a list summary (``ret_len``/``ret_sum``)
+        with no polynomial to derive — verified by execution instead."""
+        return (self.ret_sum is not None or self.ret_len is not None) and (
+            self.flops is None and self.mem is None and self.ret is None
+        )
+
+
+def _parse_cost_dim(text: str, slot: str) -> SymDim:
+    try:
+        return parse_dim(text)
+    except SymDimError as exc:
+        raise ContractSyntaxError(f"bad @cost {slot}={text!r}: {exc}") from exc
+
+
+def parse_cost(
+    flops: Optional[str] = None,
+    mem: Optional[str] = None,
+    ret: Optional[str] = None,
+    ret_sum: Optional[str] = None,
+    ret_len: Optional[str] = None,
+    where: Optional[str] = None,
+    assume: bool = False,
+) -> CostContract:
+    """Parse the keyword form of a ``@cost`` annotation."""
+    parsed_where: List[Tuple[str, SymDim]] = []
+    if where:
+        for binding in where.split(";"):
+            binding = binding.strip()
+            if not binding:
+                continue
+            name, eq, expr = binding.partition("=")
+            name = name.strip()
+            if not eq or not name.isidentifier():
+                raise ContractSyntaxError(
+                    f"bad @cost where binding {binding!r}: need NAME=expr"
+                )
+            parsed_where.append((name, _parse_cost_dim(expr, f"where:{name}")))
+    sums: Optional[Tuple[Optional[SymDim], ...]] = None
+    if ret_sum is not None:
+        sums = tuple(
+            None if part.strip() == "_" else _parse_cost_dim(part, "ret_sum")
+            for part in ret_sum.split(",")
+        )
+    return CostContract(
+        flops=None if flops is None else _parse_cost_dim(flops, "flops"),
+        mem=None if mem is None else _parse_cost_dim(mem, "mem"),
+        ret=None if ret is None else _parse_cost_dim(ret, "ret"),
+        ret_sum=sums,
+        ret_len=None if ret_len is None else _parse_cost_dim(ret_len, "ret_len"),
+        where=tuple(parsed_where),
+        assume=assume,
+    )
+
+
+def cost(
+    flops: Optional[str] = None,
+    mem: Optional[str] = None,
+    ret: Optional[str] = None,
+    ret_sum: Optional[str] = None,
+    ret_len: Optional[str] = None,
+    where: Optional[str] = None,
+    assume: bool = False,
+) -> Callable:
+    """Declare the symbolic cost of a kernel (see :class:`CostContract`).
+
+    Zero-cost: the parsed contract is attached as ``__cost_contract__``
+    and the function is returned unchanged.  The ``repro.statcheck``
+    ``COST`` rule family derives each annotated function's actual cost
+    polynomial from its AST and checks it against this declaration.
+    Quantities: ``flops`` counts floating-point operations (2 per MAC),
+    ``mem`` counts bytes materialized (4 bytes/element, fp32 model).
+    """
+    contract = parse_cost(
+        flops=flops, mem=mem, ret=ret, ret_sum=ret_sum, ret_len=ret_len,
+        where=where, assume=assume,
+    )
+
+    def decorate(fn: Callable) -> Callable:
+        fn.__cost_contract__ = contract
+        return fn
+
+    return decorate
+
+
 def _runtime_enabled() -> bool:
     return os.environ.get("REPRO_CHECK_SHAPES", "").strip().lower() in (
         "1", "true", "yes", "on",

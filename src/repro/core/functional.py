@@ -29,7 +29,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..contracts import shaped
+from ..contracts import cost, shaped
 from ..ndp.comm_unit import CollectiveEngine
 from ..prediction.predictor import predict_2d
 from ..prediction.quantization import NonUniformQuantizer, QuantizerConfig
@@ -39,6 +39,43 @@ from .config import GridConfig
 from .partition import partition_elements, shard_batch
 
 BYTES = 4
+
+
+@shaped("TS, C, E, NG -> RB")
+@cost(ret="floordiv(4*TS*C*E*(NG-1), NG)")
+def remote_scatter_bytes(tiles: int, channels: int, elems: int, num_groups: int) -> int:
+    """Bytes crossing the network when ``elems`` tile elements of
+    ``tiles x channels`` values are scattered to their owning groups.
+
+    Each tile owner keeps its own group's elements, so exactly
+    ``(N_g - 1)/N_g`` of the payload is remote (paper Section III-C).
+    Integer arithmetic: the division is exact up to the floor, and the
+    checked closed form is ``floor(4*TS*C*E*(NG-1) / NG)``.
+    """
+    total = tiles * channels * elems * BYTES
+    return total * (num_groups - 1) // num_groups
+
+
+@shaped("TS, C, E, NG -> RB")
+@cost(ret="floordiv(4*TS*C*E*(NG-1), NG)")
+def remote_gather_bytes(tiles: int, channels: int, elems: int, num_groups: int) -> int:
+    """Bytes crossing the network when computed tile elements are
+    gathered back to their tile owners — same ``(N_g - 1)/N_g`` remote
+    fraction as the scatter, counted separately per counter class."""
+    total = tiles * channels * elems * BYTES
+    return total * (num_groups - 1) // num_groups
+
+
+@shaped("SB, NC -> AB")
+@cost(ret="2*(NC-1)*SB")
+def allreduce_ring_bytes(slice_bytes: int, num_clusters: int) -> int:
+    """Total ring all-reduce bytes for one replicated gradient slice.
+
+    Every worker sends ``2*(N_c - 1)`` chunks of ``slice/N_c`` bytes
+    (reduce-scatter + all-gather); summed over the ``N_c`` ring members
+    that is exactly ``2*(N_c - 1)*slice_bytes`` — computed in integer
+    form rather than via the per-worker float fraction."""
+    return 2 * (num_clusters - 1) * slice_bytes
 
 
 @dataclass
@@ -71,16 +108,19 @@ class MptWorker:
     grad: Optional[np.ndarray] = None
 
     @shaped("(E,TS,I) -> (E,TS,J)")
+    @cost(flops="2*E*TS*I*J", mem="4*E*TS*J")
     def compute_forward(self, x_elements: np.ndarray) -> np.ndarray:
         """Element-wise GEMMs: ``(E, tiles, I) @ (E, I, J) -> (E, tiles, J)``."""
         return np.matmul(x_elements, self.weights.transpose(2, 1, 0))
 
     @shaped("(E,TS,J) -> (E,TS,I)")
+    @cost(flops="2*E*TS*I*J", mem="4*E*TS*I")
     def compute_backward(self, dy_elements: np.ndarray) -> np.ndarray:
         """``dX(e) = dY(e) @ W(e)^T``."""
         return np.matmul(dy_elements, self.weights.transpose(2, 0, 1))
 
     @shaped("(E,TS,I), (E,TS,J) -> (J,I,E)")
+    @cost(flops="2*E*TS*I*J", mem="4*E*I*J")
     def compute_weight_grad(
         self, x_elements: np.ndarray, dy_elements: np.ndarray
     ) -> np.ndarray:
@@ -215,9 +255,8 @@ class MptLayerMachine:
                 # (E, tiles, I)
                 x_elements = flat[:, :, elems].transpose(2, 0, 1)
                 per_group_inputs[g] = x_elements
-                remote_fraction = (ng - 1) / ng if ng > 1 else 0.0
-                self.counters.scatter_bytes += int(
-                    x_elements.size * BYTES * remote_fraction
+                self.counters.scatter_bytes += remote_scatter_bytes(
+                    n_tiles, i, len(elems), ng
                 )
 
             # Compute + gather output elements back to tile owners.
@@ -238,8 +277,9 @@ class MptLayerMachine:
                 out_tiles = out_tiles.copy()
                 out_tiles[dead_mask] = 0.0
             else:
-                remote = (ng - 1) / ng if ng > 1 else 0.0
-                self.counters.gather_bytes += int(out_flat.size * BYTES * remote)
+                self.counters.gather_bytes += remote_gather_bytes(
+                    n_tiles, self.out_channels, t2, ng
+                )
 
             y_spatial = assemble_output(
                 self.transform.inverse_transform(out_tiles), grid_geom
@@ -267,10 +307,11 @@ class MptLayerMachine:
         quantizer = NonUniformQuantizer(self.quantizer_config, sigma)
         result = predict_2d(out_tiles, self.transform, quantizer)
         assert result.false_negatives == 0
-        remote = (ng - 1) / ng if ng > 1 else 0.0
-        total = out_tiles.size * BYTES * remote
+        b, out_ch, th, tw, t, _ = out_tiles.shape
+        total = remote_gather_bytes(b * th * tw, out_ch, t * t, ng)
         skipped = total * result.predicted_ratio
-        side_channel = total * quantizer.config.bits / 32.0
+        fp32_bits = 32.0
+        side_channel = total * (quantizer.config.bits / fp32_bits)
         self.counters.gather_bytes += int(total - skipped)
         self.counters.gather_bytes_skipped += int(skipped)
         self.counters.prediction_side_channel_bytes += int(side_channel)
@@ -303,9 +344,8 @@ class MptLayerMachine:
                 worker = self.workers[(g, c)]
                 elems = worker.element_ids
                 dy_elements = flat_dy[:, :, elems].transpose(2, 0, 1)
-                remote = (ng - 1) / ng if ng > 1 else 0.0
-                self.counters.scatter_bytes += int(
-                    dy_elements.size * BYTES * remote
+                self.counters.scatter_bytes += remote_scatter_bytes(
+                    b * th * tw, self.out_channels, len(elems), ng
                 )
                 # Weight gradient for this worker's slice and shard.
                 partial = worker.compute_weight_grad(
@@ -314,8 +354,8 @@ class MptLayerMachine:
                 partial_grads[g].append(partial)
                 dx_elements = worker.compute_backward(dy_elements)
                 dx_flat[:, :, elems] = dx_elements.transpose(1, 2, 0)
-                self.counters.gather_bytes += int(
-                    dx_elements.size * BYTES * remote
+                self.counters.gather_bytes += remote_gather_bytes(
+                    b * th * tw, self.in_channels, len(elems), ng
                 )
             dx_wd = dx_flat.reshape(b, th, tw, self.in_channels,
                                     self.transform.tile, self.transform.tile)
@@ -327,10 +367,7 @@ class MptLayerMachine:
         for g in range(ng):
             reduced, _ = self.collective.allreduce(partial_grads[g], f"dW-g{g}")
             slice_bytes = partial_grads[g][0].size * BYTES
-            # 2 (N_c - 1)/N_c per worker, N_c workers.
-            self.counters.allreduce_bytes += int(
-                2 * (nc - 1) / nc * slice_bytes * nc
-            )
+            self.counters.allreduce_bytes += allreduce_ring_bytes(slice_bytes, nc)
             for c in range(nc):
                 self.workers[(g, c)].grad = reduced[c]
         return np.concatenate(dx_parts, axis=0)

@@ -7,7 +7,17 @@ bandwidth-optimal ``2 (n-1)/n`` pipelined algorithm on each.
 
 from __future__ import annotations
 
+from ..contracts import cost, shaped
 from .gpu_model import DEFAULT_GPU, GpuParams
+
+
+@shaped("GB, N -> WB")
+@cost(ret="2*(N-1)*GB")
+def nccl_ring_wire_bytes(grad_bytes: float, num_gpus: int) -> float:
+    """Bytes NCCL's bandwidth-optimal ring moves for one all-reduce:
+    ``2*(n-1)`` slice hops of ``grad_bytes / n`` each, per GPU, summed —
+    ``2*(n-1)*grad_bytes`` on the wire in total."""
+    return 2.0 * (num_gpus - 1) * grad_bytes
 
 
 def nccl_allreduce_time(
@@ -20,5 +30,5 @@ def nccl_allreduce_time(
     if num_gpus <= 1:
         return 0.0
     ring_bw = params.nvlinks * params.nvlink_bytes_per_s
-    bandwidth_term = 2.0 * (num_gpus - 1) / num_gpus * grad_bytes / ring_bw
+    bandwidth_term = nccl_ring_wire_bytes(grad_bytes, num_gpus) / (num_gpus * ring_bw)
     return bandwidth_term + call_overhead_s

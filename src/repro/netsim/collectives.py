@@ -18,9 +18,39 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from ..contracts import shaped
+from ..contracts import cost, shaped
 from ..params import DEFAULT_PARAMS, HardwareParams
 from .engine import Message, NetworkSimulator
+
+
+@shaped("MB, N -> _")
+@cost(ret_len="N", ret_sum="MB")
+def ring_slice_sizes(message_bytes: int, n: int) -> list:
+    """Ragged per-node slice sizes of a ring all-reduce message.
+
+    Slice ``i`` covers ``[bounds[i], bounds[i+1])``, so the ``n`` slices
+    always sum back to ``message_bytes`` even when ``n`` does not divide
+    it (a floor division here would silently drop the remainder from the
+    reduction — exactly what SHAPE006 polices)."""
+    bounds = [round(i * message_bytes / n) for i in range(n + 1)]
+    return [hi - lo for lo, hi in zip(bounds, bounds[1:])]
+
+
+@shaped("MB, N -> WB")
+@cost(ret="2*(N-1)*MB")
+def ring_wire_bytes(message_bytes: int, n: int) -> int:
+    """Total wire bytes of a pipelined ring all-reduce: every slice makes
+    ``2*(n-1)`` hops (reduce-scatter + all-gather) and the slices sum to
+    the full message, ragged or not."""
+    return 2 * (n - 1) * message_bytes
+
+
+@shaped("N, BPP -> WB")
+@cost(ret="N*(N-1)*BPP")
+def all_to_all_wire_bytes(n: int, bytes_per_pair: int) -> int:
+    """Total wire bytes of an all-to-all: ``n*(n-1)`` ordered pairs each
+    move ``bytes_per_pair``."""
+    return n * (n - 1) * bytes_per_pair
 
 
 @dataclass
@@ -91,12 +121,7 @@ def ring_allreduce(
     n = len(nodes)
     if n == 1:
         return CollectiveResult(finish_time_s=start_time, total_bytes_on_wire=0.0, messages=0)
-    # Ragged slice bounds: slice i covers [bounds[i], bounds[i+1]), so the
-    # n slices always sum back to message_bytes even when n does not
-    # divide it (a floor division here would silently drop the remainder
-    # from the reduction — exactly what SHAPE006 polices).
-    bounds = [round(i * message_bytes / n) for i in range(n + 1)]
-    slice_sizes = [hi - lo for lo, hi in zip(bounds, bounds[1:])]
+    slice_sizes = ring_slice_sizes(message_bytes, n)
     total_steps = 2 * (n - 1)
     collector = _Collector(start_time)
     progress = {"chains_done": 0, "chains_expected": 0}
@@ -192,8 +217,8 @@ def ring_allreduce_time(
             params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
         )
     efficiency = params.packet_efficiency(params.collective_packet_bytes)
-    bandwidth_term = (
-        2.0 * (n - 1) / n * message_bytes / (rings * link_bytes_per_s * efficiency)
+    bandwidth_term = ring_wire_bytes(message_bytes, n) / (
+        n * rings * link_bytes_per_s * efficiency
     )
     latency_term = 2.0 * (n - 1) * hop_latency_s
     return bandwidth_term + latency_term
@@ -257,7 +282,7 @@ def all_to_all_time(
             params.serdes_latency_s + params.router_latency_cycles / params.clock_hz
         )
     efficiency = params.packet_efficiency(params.data_packet_bytes)
-    total_injected = (n - 1) * bytes_per_pair
+    total_injected = all_to_all_wire_bytes(n, bytes_per_pair) // n
     bandwidth_term = total_injected * avg_hops / (injection_bytes_per_s * efficiency)
     return bandwidth_term + avg_hops * hop_latency_s
 

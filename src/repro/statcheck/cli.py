@@ -121,6 +121,24 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--costs",
+        action="store_true",
+        help=(
+            "emit the symbolic cost report (JSON, one entry per "
+            "@cost-annotated function: declared vs derived polynomials "
+            "and asymptotic signatures) instead of findings"
+        ),
+    )
+    parser.add_argument(
+        "--update-cost-baseline",
+        action="store_true",
+        help=(
+            "regenerate the COST003 complexity baseline "
+            "(statcheck/costs/baseline.json) from the current "
+            "annotations and exit"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
@@ -212,12 +230,92 @@ def _effects_report(paths: List[Path]) -> str:
     )
 
 
+def _costs_report(paths: List[Path]) -> str:
+    """Per-function declared/derived cost polynomials (JSON) for every
+    ``@cost``-annotated function under ``paths``."""
+    import ast
+    import json
+
+    from .costs.interp import CostPass, cost_signature
+    from .engine import iter_python_files
+
+    functions = []
+    events = []
+    for file in iter_python_files(paths):
+        path = Path(file)
+        try:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError):
+            continue
+        cost_pass = CostPass(str(path), tree)
+        shown = str(path)
+        seen = set()
+        for info in cost_pass.defs:
+            if info.cost_decorator is None or info.qualname in seen:
+                continue
+            seen.add(info.qualname)
+            entry = {
+                "path": shown,
+                "qualname": info.qualname,
+                "line": info.cost_decorator.lineno,
+            }
+            cc = info.cost
+            if cc is None:
+                entry["error"] = info.cost_error
+                functions.append(entry)
+                continue
+            entry["assume"] = cc.assume
+            declared = {
+                label: str(cc.closed(expr))
+                for label, expr in (
+                    ("flops", cc.flops), ("mem", cc.mem), ("ret", cc.ret),
+                    ("ret_len", cc.ret_len),
+                )
+                if expr is not None
+            }
+            if cc.ret_sum is not None:
+                declared["ret_sum"] = [
+                    None if expr is None else str(cc.closed(expr))
+                    for expr in cc.ret_sum
+                ]
+            entry["declared"] = declared
+            entry["signature"] = cost_signature(cc)
+            derived = cost_pass.derived.get(info.qualname)
+            if derived is not None:
+                wenv = cc.where_env()
+                entry["derived"] = {
+                    "flops": str(derived.flops.subs(wenv)),
+                    "mem": str(derived.mem.subs(wenv)),
+                }
+            functions.append(entry)
+        events.extend(
+            {
+                "rule": rule,
+                "path": shown,
+                "line": getattr(node, "lineno", 0),
+                "message": message,
+            }
+            for rule, node, message in cost_pass.events
+        )
+    return json.dumps(
+        {"version": 1, "functions": functions, "events": events},
+        indent=2,
+        sort_keys=True,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule in all_rules():
             print(f"{rule.id}  {rule.name}")
             print(f"    {rule.description}")
+        return 0
+    if args.update_cost_baseline:
+        from .costs.baseline import write_baseline
+
+        target = write_baseline(_default_paths()[0])
+        print(f"statcheck: wrote {target}")
         return 0
     if args.base and not args.changed:
         print("statcheck: --base only makes sense with --changed", file=sys.stderr)
@@ -235,6 +333,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if not paths:
             if args.effects:
                 print(_effects_report([]))
+            elif args.costs:
+                print(_costs_report([]))
             else:
                 print(render_json([]) if args.json else render_text([]))
             return 0
@@ -246,6 +346,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     if args.effects:
         print(_effects_report(list(paths)))
+        return 0
+    if args.costs:
+        print(_costs_report(list(paths)))
         return 0
     try:
         selected = _split_ids(args.select)

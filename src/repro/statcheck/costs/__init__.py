@@ -1,0 +1,9 @@
+"""Symbolic cost abstract interpreter (COST rule family).
+
+See :mod:`.interp` for the analysis, :mod:`.facts` for the analytical
+model it checks against, and :mod:`.baseline` for the COST003
+complexity baseline.
+"""
+
+from .interp import CostPass, cost_pass, cost_signature  # noqa: F401
+from .values import Arr, Fail, Geom, Lst, Obj, Tup, Xform  # noqa: F401

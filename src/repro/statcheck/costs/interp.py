@@ -1,0 +1,1878 @@
+"""Symbolic cost abstract interpreter (the COST rule family's engine).
+
+For every ``@cost``-annotated kernel the pass walks the function body
+and *derives* its FLOP and bytes-moved polynomials over the same
+:class:`~..symdims.SymDim` algebra the shape checker uses, then compares
+them against the declaration:
+
+* ``for`` loops over ``range(...)`` or summarized lists are evaluated
+  symbolically — the body is interpreted once and its cost is summed in
+  closed form (affine in the loop variables, with exact triangular sums
+  for ``range`` index variables).
+* numpy intrinsics get costs from a per-call table (uniform fp32 model:
+  4 bytes/element; 2 flops/MAC; stores and array accumulation are
+  memory-only, matching :mod:`repro.winograd.costs` which counts only
+  transform flops and MACs).
+* calls to other annotated functions substitute the callee's *declared*
+  (where-closed) polynomials — interprocedural, one summary per callee.
+* list-returning helpers annotated ``ret_len=``/``ret_sum=`` are
+  verified by executing them (they must be pure) over a battery of
+  small inputs instead of derivation.
+
+Anything outside this fragment fails the derivation, and a failed
+derivation is itself a COST001 finding: the fragment is the set of
+constructs the repo's kernels actually use, and staying inside it is
+what keeps the analysis exact rather than approximate.
+
+Events are ``(rule_id, node, message)`` tuples consumed by the thin
+rule classes in ``rules/cost_rules.py`` — the same split as the SHAPE
+family.
+"""
+
+from __future__ import annotations
+
+import ast
+import itertools
+import json
+from fractions import Fraction
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..registry import AMBIGUOUS, ContractDef, collect_contracts, registry_for
+from ..shapes import (
+    _exec_sandbox,
+    _function_impurity,
+    _strip_decorators,
+    dims_equivalent,
+)
+from ..symdims import SymDim, SymDimError, ceildiv, floordiv, sym
+from . import facts
+from .values import (
+    NP_SUBMODULES,
+    NPMOD,
+    ONE,
+    ZERO,
+    Arr,
+    Fail,
+    Geom,
+    Lst,
+    Marker,
+    Obj,
+    Tup,
+    Xform,
+    broadcast,
+)
+
+_UNSET = object()  # "has not returned yet" (None is a legal return value)
+
+_FOUR = SymDim.const(4)
+_HALF = Fraction(1, 2)
+
+
+def _bare_sym(expr: Optional[SymDim]) -> Optional[str]:
+    """The symbol name when ``expr`` is exactly one bare symbol."""
+    if expr is None:
+        return None
+    terms = expr.terms
+    if len(terms) != 1:
+        return None
+    mono, coeff = terms[0]
+    if coeff != 1 or len(mono) != 1:
+        return None
+    atom, exp = mono[0]
+    if isinstance(atom, str) and exp == 1:
+        return atom
+    return None
+
+
+def _affine_split(
+    expr: SymDim, name: str
+) -> Tuple[Optional[SymDim], Optional[SymDim]]:
+    """``(coeff, rest)`` with ``expr == coeff*name + rest`` and ``rest``
+    of degree 0 in ``name`` — or ``(None, None)`` when ``expr`` is not
+    affine in ``name`` (degree >= 2, or ``name`` inside a division)."""
+    coeff: Dict[tuple, Fraction] = {}
+    rest: Dict[tuple, Fraction] = {}
+    for mono, c in expr.terms:
+        deg = 0
+        stripped = []
+        for atom, e in mono:
+            if isinstance(atom, str):
+                if atom == name:
+                    deg += e
+                    continue
+            elif name in atom.num.free_symbols() or name in atom.den.free_symbols():
+                return None, None
+            stripped.append((atom, e))
+        if deg == 0:
+            rest[mono] = rest.get(mono, Fraction(0)) + c
+        elif deg == 1:
+            key = tuple(stripped)  # removing one atom keeps the sort order
+            coeff[key] = coeff.get(key, Fraction(0)) + c
+        else:
+            return None, None
+    return SymDim(coeff), SymDim(rest)
+
+
+def _module_int_env(tree: ast.Module) -> Dict[str, object]:
+    """Module-level ``NAME = <int literal>`` constants (``BYTES = 4``)."""
+    env: Dict[str, object] = {}
+    for st in tree.body:
+        target = None
+        if isinstance(st, ast.Assign) and len(st.targets) == 1:
+            target = st.targets[0]
+        elif isinstance(st, ast.AnnAssign):
+            target = st.target
+        else:
+            continue
+        if not (isinstance(target, ast.Name) and isinstance(st.value, ast.Constant)):
+            continue
+        value = st.value.value
+        if isinstance(value, bool) or not isinstance(value, int):
+            continue
+        env[target.id] = SymDim.const(value)
+    return env
+
+
+#: Builtins that are cost-free and whose value we do not track.
+_FREE_CALLS = frozenset({
+    "min", "max", "abs", "round", "isinstance", "sorted", "print",
+    "str", "repr", "id", "phase",
+})
+
+
+def _terminator(body: Sequence[ast.stmt]) -> str:
+    if not body:
+        return "absent"
+    last = body[-1]
+    if isinstance(last, (ast.Raise, ast.Continue, ast.Break)):
+        return "guard"
+    if isinstance(last, ast.Return):
+        return "return"
+    return "plain"
+
+
+class _Shared:
+    """State shared across a derivation and all its child frames."""
+
+    __slots__ = ("cp", "counter")
+
+    def __init__(self, cp: "CostPass") -> None:
+        self.cp = cp
+        self.counter = 0
+
+    def fresh(self) -> str:
+        self.counter += 1
+        return f"__L{self.counter}"
+
+
+class FnDeriver:
+    """One interpretation frame (a function body or a loop body)."""
+
+    def __init__(self, shared: _Shared, env: Dict[str, object]) -> None:
+        self.shared = shared
+        self.env = env
+        self.flops = ZERO
+        self.mem = ZERO
+        self.ret = _UNSET
+        self.stopped = False
+        #: scalar ``name += delta`` totals in this frame (None = unknown)
+        self.aug: Dict[str, Optional[SymDim]] = {}
+        #: names plainly (re)assigned in this frame
+        self.assigned: set = set()
+        #: (flops, mem, ret) totals of early-``return`` fast paths
+        self.alternatives: List[Tuple[SymDim, SymDim, object]] = []
+
+    # ---- statements ------------------------------------------------------
+
+    def run_body(self, body: Sequence[ast.stmt]) -> None:
+        for st in body:
+            if self.ret is not _UNSET or self.stopped:
+                break
+            self.stmt(st)
+
+    def stmt(self, st: ast.stmt) -> None:
+        if isinstance(st, ast.Assign):
+            value = self.eval(st.value)
+            for target in st.targets:
+                self._assign(target, value)
+        elif isinstance(st, ast.AnnAssign):
+            if st.value is not None:
+                self._assign(st.target, self.eval(st.value))
+        elif isinstance(st, ast.AugAssign):
+            self._aug_assign(st)
+        elif isinstance(st, ast.Expr):
+            self.eval(st.value)
+        elif isinstance(st, ast.For):
+            self._for(st)
+        elif isinstance(st, ast.If):
+            self._if(st)
+        elif isinstance(st, ast.With):
+            for item in st.items:
+                self.eval(item.context_expr)  # e.g. phase("kernel"): free
+                if item.optional_vars is not None:
+                    self._assign(item.optional_vars, None)
+            self.run_body(st.body)
+        elif isinstance(st, ast.Return):
+            self.ret = self.eval(st.value) if st.value is not None else None
+        elif isinstance(st, ast.Raise):
+            self.stopped = True
+        elif isinstance(st, (ast.Pass, ast.Assert, ast.Import, ast.ImportFrom)):
+            pass
+        else:
+            raise Fail(f"unsupported statement {type(st).__name__}")
+
+    def _assign(self, target: ast.expr, value: object) -> None:
+        if isinstance(target, ast.Name):
+            self.env[target.id] = value
+            self.assigned.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            items: Sequence[object]
+            if isinstance(value, Tup) and len(value.items) == len(target.elts):
+                items = value.items
+            elif isinstance(value, Arr) and value.lead is None and len(
+                value.dims
+            ) == len(target.elts):
+                items = [Arr((d,)) if d is not None else None for d in value.dims]
+            else:
+                items = [None] * len(target.elts)
+            for sub, item in zip(target.elts, items):
+                self._assign(sub, item)
+        elif isinstance(target, ast.Subscript):
+            self._store(target)
+        elif isinstance(target, ast.Attribute):
+            pass  # object-attribute bookkeeping, no array bytes
+        elif isinstance(target, ast.Starred):
+            raise Fail("starred assignment")
+        else:
+            raise Fail(f"unsupported assignment target {type(target).__name__}")
+
+    def _store(self, target: ast.Subscript) -> None:
+        """A subscript store costs the bytes of the written region."""
+        base = self.eval(target.value)
+        if not isinstance(base, Arr):
+            raise Fail("subscript store into non-array")
+        region = self._subscript_arr(base, target.slice)
+        size = region.size()
+        if size is None:
+            raise Fail("subscript store of unknown extent")
+        self.mem = self.mem + _FOUR * size
+
+    def _aug_assign(self, st: ast.AugAssign) -> None:
+        delta = self.eval(st.value)
+        target = st.target
+        if isinstance(target, ast.Subscript):
+            # array accumulation: memory-only (see module docstring)
+            self._store(target)
+            return
+        if isinstance(target, ast.Attribute):
+            return
+        if not isinstance(target, ast.Name):
+            raise Fail(f"unsupported augment target {type(target).__name__}")
+        name = target.id
+        cur = self.env.get(name)
+        if isinstance(cur, Arr):
+            size = cur.size()
+            if size is None:
+                raise Fail("array accumulation of unknown extent")
+            self.mem = self.mem + _FOUR * size
+            return
+        if (
+            isinstance(st.op, ast.Add)
+            and isinstance(cur, SymDim)
+            and isinstance(delta, SymDim)
+        ):
+            self.env[name] = cur + delta
+            prior = self.aug.get(name, ZERO)
+            self.aug[name] = None if prior is None else prior + delta
+        else:
+            self.env[name] = None
+            self.aug[name] = None
+
+    # ---- control flow ----------------------------------------------------
+
+    def _fork(self, body: Sequence[ast.stmt]) -> "FnDeriver":
+        child = FnDeriver(self.shared, dict(self.env))
+        child.run_body(body)
+        return child
+
+    def _if(self, st: ast.If) -> None:
+        branches = [
+            (st.body, _terminator(st.body)),
+            (st.orelse, _terminator(st.orelse)),
+        ]
+        live = [(b, t) for b, t in branches if t != "guard" and t != "absent"]
+        if not live:
+            return  # pure guard (raise/continue/break) — skip
+        if len(live) == 2 and live[0][1] == "plain" and live[1][1] == "plain":
+            # both sides execute in the abstraction: upper bound on cost,
+            # merge environments (unused by the repo's annotated kernels)
+            forks = [self._fork(b) for b, _ in live]
+            for fork in forks:
+                if fork.ret is not _UNSET:
+                    raise Fail("return in one arm of a two-arm conditional")
+                self._absorb_fork_alternatives(fork)
+                self.flops = self.flops + fork.flops
+                self.mem = self.mem + fork.mem
+            touched = set()
+            for fork in forks:
+                touched |= fork.assigned | set(fork.aug)
+            for name in sorted(touched):
+                self.env[name] = None
+                self.assigned.add(name)
+            return
+        for body, term in live:
+            if term == "return":
+                fork = self._fork(body)
+                self._absorb_fork_alternatives(fork)
+                if fork.ret is _UNSET or fork.stopped:
+                    continue
+                ret = fork.ret
+                if ret is None or (isinstance(ret, SymDim) and ret.is_const()):
+                    continue  # edge guard (`return 0`) — not a real path
+                self.alternatives.append((
+                    self.flops + fork.flops, self.mem + fork.mem, ret,
+                ))
+            else:  # single live plain branch: adopt it (general path)
+                self.run_body(body)
+
+    def _absorb_fork_alternatives(self, fork: "FnDeriver") -> None:
+        for alt_f, alt_m, alt_r in fork.alternatives:
+            self.alternatives.append((self.flops + alt_f, self.mem + alt_m, alt_r))
+
+    def _for(self, st: ast.For) -> None:
+        if st.orelse:
+            raise Fail("for/else")
+        trip, binds = self._loop_iter(st)
+        child = FnDeriver(self.shared, dict(self.env))
+        loop_names = []
+        for var, fresh, _vsum in binds:
+            child.env[var] = sym(fresh)
+            loop_names.append(fresh)
+        child.run_body(st.body)
+        if child.ret is not _UNSET or child.stopped:
+            raise Fail("return/raise inside a loop body")
+        if child.alternatives:
+            raise Fail("conditional fast path inside a loop body")
+        sums = [(fresh, vsum) for _var, fresh, vsum in binds]
+        self.flops = self.flops + self._summate(child.flops, sums, loop_names, trip)
+        self.mem = self.mem + self._summate(child.mem, sums, loop_names, trip)
+        both = set(child.assigned) & set(child.aug)
+        for name in sorted(both):
+            self.env[name] = None
+            self.aug[name] = None
+        for name, delta in child.aug.items():
+            if name in both:
+                continue
+            total: Optional[SymDim]
+            if delta is None:
+                total = None
+            else:
+                try:
+                    total = self._summate(delta, sums, loop_names, trip)
+                except Fail:
+                    total = None
+            cur = self.env.get(name)
+            if total is None or not isinstance(cur, SymDim):
+                self.env[name] = None
+                self.aug[name] = None
+            else:
+                self.env[name] = cur + total
+                prior = self.aug.get(name, ZERO)
+                self.aug[name] = None if prior is None else prior + total
+        for name in sorted(set(child.assigned) - both - set(child.aug)):
+            self.env[name] = None
+            self.assigned.add(name)
+        for var, _fresh, _vsum in binds:
+            self.env[var] = None  # value after the loop is the last element
+
+    def _loop_iter(
+        self, st: ast.For
+    ) -> Tuple[SymDim, List[Tuple[str, str, Optional[SymDim]]]]:
+        """``(trip_count, [(target_name, fresh_sym, element_sum), ...])``."""
+        it = st.iter
+        if (
+            isinstance(it, ast.Call)
+            and isinstance(it.func, ast.Name)
+            and it.func.id == "range"
+        ):
+            if it.keywords or len(it.args) not in (1, 2):
+                raise Fail("unsupported range() form")
+            if not isinstance(st.target, ast.Name):
+                raise Fail("range loop needs a plain index variable")
+            args = [self.eval(a) for a in it.args]
+            if not all(isinstance(a, SymDim) for a in args):
+                raise Fail("range() bound is not statically known")
+            if len(args) == 1:
+                lo, hi = ZERO, args[0]
+            else:
+                lo, hi = args
+            trip = hi - lo
+            # sum_{i=lo}^{hi-1} i = (hi*(hi-1) - lo*(lo-1)) / 2
+            vsum = (hi * (hi - ONE) - lo * (lo - ONE)) * _HALF
+            return trip, [(st.target.id, self.shared.fresh(), vsum)]
+        value = self.eval(it)
+        if isinstance(value, Lst):
+            if value.length is None:
+                raise Fail("loop over a list of unknown length")
+            if isinstance(st.target, ast.Name):
+                if len(value.sums) != 1:
+                    raise Fail("scalar loop target over a tuple-element list")
+                return value.length, [
+                    (st.target.id, self.shared.fresh(), value.sums[0])
+                ]
+            if isinstance(st.target, ast.Tuple) and all(
+                isinstance(e, ast.Name) for e in st.target.elts
+            ):
+                if len(st.target.elts) != len(value.sums):
+                    raise Fail("loop target arity disagrees with list summary")
+                return value.length, [
+                    (e.id, self.shared.fresh(), s)
+                    for e, s in zip(st.target.elts, value.sums)
+                ]
+            raise Fail("unsupported loop target")
+        raise Fail("loop over an unsupported iterable")
+
+    def _summate(
+        self,
+        expr: SymDim,
+        sums: List[Tuple[str, Optional[SymDim]]],
+        loop_names: List[str],
+        trip: SymDim,
+    ) -> SymDim:
+        """Close ``sum over the loop of expr`` given per-variable sums."""
+        total = ZERO
+        rest = expr
+        for fresh, vsum in sums:
+            coeff, new_rest = _affine_split(rest, fresh)
+            if coeff is None or new_rest is None:
+                raise Fail(f"loop cost is not affine in the index ({expr})")
+            if coeff != ZERO:
+                if any(n in coeff.free_symbols() for n in loop_names):
+                    raise Fail("loop cost mixes index variables")
+                if vsum is None:
+                    raise Fail("loop cost depends on an unsummarized element")
+                total = total + coeff * vsum
+            rest = new_rest
+        if any(n in rest.free_symbols() for n in loop_names):
+            raise Fail("loop cost is not affine in the index")
+        return total + rest * trip
+
+    # ---- expressions -----------------------------------------------------
+
+    def eval(self, node: ast.expr) -> object:
+        if isinstance(node, ast.Constant):
+            v = node.value
+            if isinstance(v, bool) or v is None or isinstance(v, (str, bytes)):
+                return None
+            if v is Ellipsis:
+                return None
+            if isinstance(v, int):
+                return SymDim.const(v)
+            if isinstance(v, float):
+                return SymDim.const(Fraction(v))
+            return None
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return self.env[node.id]
+            if node.id in ("np", "numpy"):
+                return NPMOD
+            return None
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            if isinstance(node.op, ast.USub):
+                if isinstance(operand, SymDim):
+                    return -operand
+                if isinstance(operand, Arr):
+                    return self._elementwise([operand])
+                return None
+            if isinstance(node.op, ast.UAdd):
+                return operand
+            return None
+        if isinstance(node, ast.Compare):
+            vals = [self.eval(node.left)] + [self.eval(c) for c in node.comparators]
+            if any(isinstance(v, Arr) for v in vals):
+                return self._elementwise(vals)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for v in node.values:
+                self.eval(v)
+            return None
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.Tuple):
+            return Tup([self.eval(e) for e in node.elts])
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.JoinedStr)):
+            return None
+        raise Fail(f"unsupported expression {type(node).__name__}")
+
+    def _binop(self, node: ast.BinOp) -> object:
+        a = self.eval(node.left)
+        b = self.eval(node.right)
+        if isinstance(a, Arr) or isinstance(b, Arr):
+            if isinstance(node.op, ast.MatMult):
+                return _in_matmul(self, a, b)
+            return self._elementwise([a, b])
+        if not (isinstance(a, SymDim) and isinstance(b, SymDim)):
+            return None
+        op = node.op
+        if isinstance(op, ast.Add):
+            return a + b
+        if isinstance(op, ast.Sub):
+            return a - b
+        if isinstance(op, ast.Mult):
+            return a * b
+        if isinstance(op, ast.FloorDiv):
+            return floordiv(a, b)
+        if isinstance(op, ast.Div):
+            quotient = a.exact_div(b)
+            if quotient is None:
+                raise Fail(f"inexact symbolic division {a} / {b}")
+            return quotient
+        if isinstance(op, ast.Pow):
+            e = b.as_const()
+            if e is None or e.denominator != 1 or e < 0:
+                raise Fail("symbolic exponent")
+            return a ** int(e)
+        return None
+
+    def _elementwise(self, vals: Sequence[object]) -> Arr:
+        arrs = [v for v in vals if isinstance(v, Arr)]
+        if any(not isinstance(v, (Arr, SymDim)) for v in vals):
+            raise Fail("elementwise operation with an unknown operand")
+        out = arrs[0]
+        for other in arrs[1:]:
+            out = broadcast(out, other)
+        size = out.size()
+        if size is None:
+            raise Fail("elementwise operation of unknown extent")
+        self.flops = self.flops + size
+        self.mem = self.mem + _FOUR * size
+        return out
+
+    # ---- attributes / subscripts ----------------------------------------
+
+    def _attribute(self, node: ast.Attribute) -> object:
+        base = self.eval(node.value)
+        name = node.attr
+        if isinstance(base, Marker) and base.kind == "npmod":
+            if name in NP_SUBMODULES:
+                return base
+            return Marker("npfunc", name)
+        if isinstance(base, Arr):
+            if name == "shape":
+                if base.lead is not None:
+                    return None
+                return Tup(base.dims)
+            if name == "size":
+                return base.size()
+            if name == "ndim":
+                return None if base.lead is not None else SymDim.const(len(base.dims))
+            if name == "T":
+                if base.lead is not None:
+                    raise Fail(".T on an ellipsis-shaped array")
+                return Arr(tuple(reversed(base.dims)))
+            if name == "strides":
+                return Tup((None,) * len(base.dims))
+            return None
+        if isinstance(base, (Geom, Xform, Obj)):
+            return base.attr(name)
+        return None
+
+    def _subscript(self, node: ast.Subscript) -> object:
+        base = self.eval(node.value)
+        if isinstance(base, Arr):
+            return self._subscript_arr(base, node.slice)
+        if isinstance(base, Tup):
+            idx_node = node.slice
+            if isinstance(idx_node, ast.Slice):
+                return None
+            idx = self.eval(idx_node)
+            if isinstance(idx, SymDim):
+                c = idx.as_const()
+                if c is not None and c.denominator == 1:
+                    i = int(c)
+                    if -len(base.items) <= i < len(base.items):
+                        return base.items[i]
+            return None
+        return None
+
+    def _subscript_arr(self, base: Arr, slice_node: ast.expr) -> Arr:
+        if base.lead is not None:
+            raise Fail("subscript on an ellipsis-shaped array")
+        if isinstance(slice_node, ast.Tuple):
+            indices = list(slice_node.elts)
+        else:
+            indices = [slice_node]
+        dims = list(base.dims)
+        out: List[Optional[SymDim]] = []
+        pos = 0
+        for nth, idx in enumerate(indices):
+            if isinstance(idx, ast.Constant) and idx.value is Ellipsis:
+                # keep axes until the remaining indices line up with the
+                # trailing dims (at most one Ellipsis, numpy's own rule)
+                after = len(indices) - nth - 1
+                while len(dims) - pos > after:
+                    out.append(dims[pos])
+                    pos += 1
+                continue
+            if pos >= len(dims):
+                raise Fail("subscript arity exceeds array rank")
+            dim = dims[pos]
+            if isinstance(idx, ast.Slice):
+                out.append(self._slice_extent(dim, idx))
+            else:
+                self.eval(idx)  # an index: drops the axis
+            pos += 1
+        out.extend(dims[pos:])
+        return Arr(tuple(out))
+
+    def _slice_extent(
+        self, dim: Optional[SymDim], sl: ast.Slice
+    ) -> Optional[SymDim]:
+        lo = self.eval(sl.lower) if sl.lower is not None else None
+        up = self.eval(sl.upper) if sl.upper is not None else None
+        step = self.eval(sl.step) if sl.step is not None else None
+        lo = lo if isinstance(lo, SymDim) else (None if sl.lower else ZERO)
+        up_known = isinstance(up, SymDim)
+        if sl.upper is not None and not up_known:
+            return None
+        if lo is None:
+            return None
+        if step is not None:
+            if not isinstance(step, SymDim):
+                return None
+            c = step.as_const()
+            if c is not None:
+                if c == -1 and sl.lower is None and sl.upper is None:
+                    return dim
+                if c <= 0:
+                    raise Fail("unsupported negative slice step")
+            # symbolic steps are assumed positive (dimension algebra)
+        if up_known:
+            uc = up.as_const()
+            if uc is not None and uc < 0:
+                if dim is None:
+                    return None
+                extent = dim + up
+            else:
+                extent = up - lo
+        elif dim is None:
+            return None
+        else:
+            lc = lo.as_const()
+            if lc is not None and lc < 0:
+                extent = -lo
+            else:
+                extent = dim - lo
+        if step is not None and extent is not None:
+            c = step.as_const()
+            if c is None or c > 1:
+                extent = ceildiv(extent, step)
+        return extent
+
+    # ---- calls -----------------------------------------------------------
+
+    def _call(self, node: ast.Call) -> object:
+        func = node.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name == "len":
+                return self._builtin_len(node)
+            if name in ("int", "float"):
+                if len(node.args) == 1:
+                    value = self.eval(node.args[0])
+                    return value if isinstance(value, SymDim) else None
+                return None
+            if name in _FREE_CALLS:
+                for a in node.args:
+                    self.eval(a)
+                return None
+            if name == "WinogradConvCache":
+                return None
+            if name == "TileGrid":
+                return self._tile_grid_ctor(node)
+            info = self.shared.cp.resolve(name)
+            if info is AMBIGUOUS:
+                raise Fail(f"ambiguous callee {name!r}")
+            if info is not None:
+                return self._summary_call(node, info)
+            raise Fail(f"call to uncosted function {name!r}")
+        if isinstance(func, ast.Attribute):
+            recv = self.eval(func.value)
+            attr = func.attr
+            if isinstance(recv, Marker) and recv.kind == "npmod":
+                handler = _INTRINSICS.get(attr)
+                if handler is None:
+                    raise Fail(f"unmodeled numpy call np.{attr}")
+                return handler(self, node)
+            if isinstance(recv, Arr):
+                handler = _ARR_METHODS.get(attr)
+                if handler is None:
+                    raise Fail(f"unmodeled array method .{attr}()")
+                return handler(self, recv, node)
+            if isinstance(recv, Xform):
+                prebind = {"M": recv.m, "R": recv.r}
+                if recv.m is not None and recv.r is not None:
+                    prebind["T"] = recv.m + recv.r - 1
+                return self._method_summary(node, "WinogradTransform", attr, prebind)
+            if isinstance(recv, Geom):
+                return self._method_summary(node, "TileGrid", attr, {})
+            if isinstance(recv, Obj):
+                return self._method_summary(node, recv.cls, attr, {})
+            if isinstance(recv, Lst):
+                if attr in ("append", "extend", "sort"):
+                    raise Fail("list mutation is outside the costed fragment")
+                return None
+            raise Fail(f"method call .{attr}() on an unknown receiver")
+        raise Fail("unsupported call form")
+
+    def _builtin_len(self, node: ast.Call) -> Optional[SymDim]:
+        if len(node.args) != 1:
+            return None
+        value = self.eval(node.args[0])
+        if isinstance(value, Arr):
+            return value.dims[0] if value.lead is None and value.dims else None
+        if isinstance(value, Lst):
+            return value.length
+        if isinstance(value, Tup):
+            return SymDim.const(len(value.items))
+        return None
+
+    def _tile_grid_ctor(self, node: ast.Call) -> Geom:
+        fields = ["height", "width", "pad", "m", "r"]
+        values: Dict[str, object] = {}
+        for name, arg in zip(fields, node.args):
+            values[name] = self.eval(arg)
+        for kw in node.keywords:
+            if kw.arg in fields:
+                values[kw.arg] = self.eval(kw.value)
+        def _dim(v):
+            return v if isinstance(v, SymDim) else None
+        return Geom(*(_dim(values.get(f)) for f in fields))
+
+    def _method_summary(
+        self, node: ast.Call, cls: Optional[str], attr: str, prebind: Dict
+    ) -> object:
+        cp = self.shared.cp
+        info = cp.resolve(f"{cls}.{attr}") if cls else None
+        if info is None or info is AMBIGUOUS:
+            info = cp.resolve(attr)
+        if info is AMBIGUOUS:
+            raise Fail(f"ambiguous callee {attr!r}")
+        if info is None:
+            raise Fail(f"method call to uncosted function .{attr}()")
+        clean = {k: v for k, v in prebind.items() if v is not None}
+        return self._summary_call(node, info, prebind=clean)
+
+    # ---- interprocedural summaries ---------------------------------------
+
+    def _summary_call(
+        self,
+        node: ast.Call,
+        info: ContractDef,
+        prebind: Optional[Dict[str, SymDim]] = None,
+    ) -> object:
+        cc = info.cost
+        if cc is None or info.cost_error is not None:
+            raise Fail(f"callee {info.qualname!r} lacks a usable @cost summary")
+        contract = info.contract
+        bindings: Dict[str, SymDim] = dict(prebind or {})
+        actuals: Dict[str, object] = {}
+        params = info.params
+        for i, arg in enumerate(node.args):
+            if isinstance(arg, ast.Starred):
+                raise Fail("starred call argument")
+            value = self.eval(arg)
+            if i < len(params):
+                actuals[params[i]] = value
+        for kw in node.keywords:
+            if kw.arg is None:
+                raise Fail("**kwargs call argument")
+            value = self.eval(kw.value)
+            if kw.arg in params:
+                actuals[kw.arg] = value
+        lead_product: object = _UNSET  # first-ellipsis-arg leading product
+        lead_explicit: Optional[Tuple[Optional[SymDim], ...]] = None
+        if contract is not None:
+            for param, entry in zip(params, contract.args):
+                value = actuals.get(param)
+                if entry.kind == "scalar":
+                    bname = _bare_sym(entry.expr)
+                    if (
+                        bname
+                        and bname not in bindings
+                        and isinstance(value, SymDim)
+                    ):
+                        bindings[bname] = value
+                elif entry.kind == "array":
+                    if not isinstance(value, Arr):
+                        continue
+                    if entry.ellipsis:
+                        n = len(entry.dims)
+                        if len(value.dims) < n:
+                            continue
+                        split = len(value.dims) - n
+                        trailing = value.dims[split:]
+                        leading = value.dims[:split]
+                        if lead_product is _UNSET:
+                            prod: Optional[SymDim]
+                            prod = value.lead if value.lead is not None else ONE
+                            for d in leading:
+                                if d is None or prod is None:
+                                    prod = None
+                                    break
+                                prod = prod * d
+                            lead_product = prod
+                            if value.lead is None:
+                                lead_explicit = leading
+                        for dexpr, dval in zip(entry.dims, trailing):
+                            bname = _bare_sym(dexpr)
+                            if bname and bname not in bindings and dval is not None:
+                                bindings[bname] = dval
+                    else:
+                        if value.lead is not None or len(value.dims) != len(
+                            entry.dims
+                        ):
+                            continue  # rank conflicts are SHAPE002's domain
+                        for dexpr, dval in zip(entry.dims, value.dims):
+                            bname = _bare_sym(dexpr)
+                            if bname and bname not in bindings and dval is not None:
+                                bindings[bname] = dval
+                else:  # skip entry: structured facts still bind geometry
+                    if isinstance(value, Obj):
+                        # an attribute bag carrying a grid (e.g. the conv
+                        # cache) exposes that grid's geometry symbols
+                        for attr_value in value.attrs.values():
+                            if isinstance(attr_value, Geom):
+                                value = attr_value
+                                break
+                    if isinstance(value, Geom):
+                        for s, field in zip(Geom.BIND_SYMS, Geom.BINDINGS):
+                            fv = getattr(value, field)
+                            if s not in bindings and fv is not None:
+                                bindings[s] = fv
+                    elif isinstance(value, Xform):
+                        if "M" not in bindings and value.m is not None:
+                            bindings["M"] = value.m
+                        if "R" not in bindings and value.r is not None:
+                            bindings["R"] = value.r
+                        if (
+                            "T" not in bindings
+                            and value.m is not None
+                            and value.r is not None
+                        ):
+                            bindings["T"] = value.m + value.r - 1
+        if "ELL" not in bindings and lead_product is not _UNSET:
+            if lead_product is None:
+                raise Fail(
+                    f"cannot bind leading extent for callee {info.qualname!r}"
+                )
+            bindings["ELL"] = lead_product
+        for quantity, attr in ((cc.flops, "flops"), (cc.mem, "mem")):
+            closed = cc.closed(quantity) if quantity is not None else ZERO
+            missing = closed.free_symbols() - set(bindings)
+            if missing:
+                raise Fail(
+                    f"unbound symbols {sorted(missing)} in {info.qualname!r} "
+                    f"{attr} summary"
+                )
+            setattr(self, attr, getattr(self, attr) + closed.subs(bindings))
+        return self._summary_return(info, cc, bindings, lead_explicit)
+
+    def _summary_return(
+        self,
+        info: ContractDef,
+        cc,
+        bindings: Dict[str, SymDim],
+        lead_explicit: Optional[Tuple[Optional[SymDim], ...]],
+    ) -> object:
+        if cc.ret is not None:
+            closed = cc.closed(cc.ret)
+            missing = closed.free_symbols() - set(bindings)
+            if missing:
+                raise Fail(
+                    f"unbound symbols {sorted(missing)} in {info.qualname!r} "
+                    f"ret summary"
+                )
+            return closed.subs(bindings)
+        if cc.exec_only():
+            length = cc.closed(cc.ret_len) if cc.ret_len is not None else None
+            if length is not None:
+                if length.free_symbols() - set(bindings):
+                    raise Fail(
+                        f"unbound symbols in {info.qualname!r} ret_len summary"
+                    )
+                length = length.subs(bindings)
+            sums: List[Optional[SymDim]] = []
+            for s in cc.ret_sum or (None,):
+                if s is None:
+                    sums.append(None)
+                else:
+                    closed = cc.closed(s)
+                    if closed.free_symbols() - set(bindings):
+                        sums.append(None)
+                    else:
+                        sums.append(closed.subs(bindings))
+            return Lst(length, sums)
+        contract = info.contract
+        if contract is None:
+            return None
+        outs: List[object] = []
+        for entry in contract.returns:
+            if entry.kind == "scalar":
+                closed = cc.closed(entry.expr) if entry.expr is not None else None
+                if closed is not None and not (
+                    closed.free_symbols() - set(bindings)
+                ):
+                    outs.append(closed.subs(bindings))
+                else:
+                    outs.append(None)
+            elif entry.kind == "array":
+                dims: List[Optional[SymDim]] = []
+                for dexpr in entry.dims:
+                    if dexpr is None:
+                        dims.append(None)
+                        continue
+                    closed = cc.closed(dexpr)
+                    if closed.free_symbols() - set(bindings):
+                        dims.append(None)
+                    else:
+                        dims.append(closed.subs(bindings))
+                if entry.ellipsis:
+                    if lead_explicit is not None:
+                        outs.append(Arr(tuple(lead_explicit) + tuple(dims)))
+                    elif "ELL" in bindings:
+                        outs.append(Arr(tuple(dims), lead=bindings["ELL"]))
+                    else:
+                        outs.append(None)
+                else:
+                    outs.append(Arr(tuple(dims)))
+            else:
+                outs.append(None)
+        if len(outs) == 1:
+            return outs[0]
+        return Tup(outs)
+
+
+# ---------------------------------------------------------------------------
+# numpy intrinsic cost table
+# ---------------------------------------------------------------------------
+
+
+def _need_arr(value: object, what: str) -> Arr:
+    if not isinstance(value, Arr):
+        raise Fail(f"{what} is not a tracked array")
+    return value
+
+
+def _prod(dims: Sequence[Optional[SymDim]], what: str) -> SymDim:
+    total = ONE
+    for d in dims:
+        if d is None:
+            raise Fail(f"{what} has an unknown extent")
+        total = total * d
+    return total
+
+
+def _charge_out(dr: FnDeriver, out: Arr, flops: Optional[SymDim]) -> Arr:
+    size = out.size()
+    if size is None:
+        raise Fail("result of unknown extent")
+    if flops is not None:
+        dr.flops = dr.flops + flops
+    dr.mem = dr.mem + _FOUR * size
+    return out
+
+
+def _kwarg(node: ast.Call, name: str) -> Optional[ast.expr]:
+    for kw in node.keywords:
+        if kw.arg == name:
+            return kw.value
+    return None
+
+
+def _shape_to_dims(value: object) -> Tuple[Optional[SymDim], ...]:
+    if isinstance(value, Tup):
+        return tuple(
+            d if isinstance(d, SymDim) else None for d in value.items
+        )
+    if isinstance(value, SymDim):
+        return (value,)
+    raise Fail("allocation shape is not statically known")
+
+
+def _in_matmul(dr: FnDeriver, a: object, b: object) -> Arr:
+    arr_a = _need_arr(a, "matmul operand")
+    arr_b = _need_arr(b, "matmul operand")
+    if arr_a.lead is not None or arr_b.lead is not None:
+        raise Fail("matmul on ellipsis-shaped arrays")
+    if len(arr_a.dims) < 2 or len(arr_b.dims) < 2:
+        raise Fail("matmul needs rank >= 2 operands")
+    m, k = arr_a.dims[-2], arr_a.dims[-1]
+    n = arr_b.dims[-1]
+    batch = broadcast(Arr(arr_a.dims[:-2]), Arr(arr_b.dims[:-2])).dims
+    if m is None or k is None or n is None:
+        raise Fail("matmul extent unknown")
+    flops = 2 * _prod(batch, "matmul batch") * m * k * n
+    return _charge_out(dr, Arr(tuple(batch) + (m, n)), flops)
+
+
+def _i_matmul(dr: FnDeriver, node: ast.Call) -> Arr:
+    args = [dr.eval(a) for a in node.args]
+    if len(args) != 2:
+        raise Fail("matmul needs two arguments")
+    return _in_matmul(dr, args[0], args[1])
+
+
+def _axes_list(node: ast.expr, dr: FnDeriver) -> List[int]:
+    items: Sequence[object]
+    if isinstance(node, (ast.List, ast.Tuple)):
+        items = [dr.eval(e) for e in node.elts]
+    else:
+        value = dr.eval(node)
+        if isinstance(value, Tup):
+            items = value.items
+        elif isinstance(value, SymDim):
+            items = [value]
+        else:
+            raise Fail("tensordot axes are not literal")
+    out = []
+    for item in items:
+        if not isinstance(item, SymDim):
+            raise Fail("tensordot axis is not a constant")
+        c = item.as_const()
+        if c is None or c.denominator != 1:
+            raise Fail("tensordot axis is not a constant")
+        out.append(int(c))
+    return out
+
+
+def _i_tensordot(dr: FnDeriver, node: ast.Call) -> Arr:
+    if len(node.args) < 2:
+        raise Fail("tensordot needs two array arguments")
+    a = _need_arr(dr.eval(node.args[0]), "tensordot operand")
+    b = _need_arr(dr.eval(node.args[1]), "tensordot operand")
+    if b.lead is not None:
+        raise Fail("tensordot on ellipsis-shaped right operand")
+    axes_node = node.args[2] if len(node.args) > 2 else _kwarg(node, "axes")
+    if axes_node is None or not isinstance(axes_node, ast.Tuple) or len(
+        axes_node.elts
+    ) != 2:
+        raise Fail("tensordot needs explicit axes=([...], [...])")
+    raw_a = _axes_list(axes_node.elts[0], dr)
+    if a.lead is not None:
+        # Only negative axes resolve unambiguously against the explicit
+        # trailing dims of an ellipsis-shaped array.
+        if any(ax >= 0 for ax in raw_a):
+            raise Fail("tensordot on ellipsis lead needs negative axes")
+        ax_a = [len(a.dims) + ax for ax in raw_a]
+        if any(ax < 0 for ax in ax_a):
+            raise Fail("tensordot axis reaches into ellipsis lead")
+    else:
+        ax_a = [ax % len(a.dims) for ax in raw_a]
+    ax_b = [ax % len(b.dims) for ax in _axes_list(axes_node.elts[1], dr)]
+    contracted = [a.dims[ax] for ax in ax_a]
+    out_dims = tuple(
+        d for i, d in enumerate(a.dims) if i not in ax_a
+    ) + tuple(d for i, d in enumerate(b.dims) if i not in ax_b)
+    out = Arr(out_dims, lead=a.lead)
+    size = out.size()
+    if size is None:
+        raise Fail("tensordot extent unknown")
+    flops = 2 * size * _prod(contracted, "tensordot contraction")
+    return _charge_out(dr, out, flops)
+
+
+def _i_einsum(dr: FnDeriver, node: ast.Call) -> Arr:
+    if not node.args or not (
+        isinstance(node.args[0], ast.Constant)
+        and isinstance(node.args[0].value, str)
+    ):
+        raise Fail("einsum needs a literal subscript string")
+    spec = node.args[0].value.replace(" ", "")
+    if "->" not in spec:
+        raise Fail("einsum needs an explicit '->' output")
+    lhs, rhs = spec.split("->")
+    subscripts = lhs.split(",")
+    arrays = [
+        _need_arr(dr.eval(a), "einsum operand") for a in node.args[1:]
+    ]
+    if len(arrays) != len(subscripts):
+        raise Fail("einsum subscript/operand arity mismatch")
+    letters: Dict[str, SymDim] = {}
+    for sub, arr in zip(subscripts, arrays):
+        if arr.lead is not None or len(sub) != len(arr.dims):
+            raise Fail("einsum operand rank mismatch")
+        for letter, dim in zip(sub, arr.dims):
+            if letter not in letters and dim is not None:
+                letters[letter] = dim
+    distinct = set("".join(subscripts))
+    missing = distinct - set(letters)
+    if missing:
+        raise Fail(f"einsum extent unknown for {sorted(missing)}")
+    flops = 2 * _prod([letters[x] for x in sorted(distinct)], "einsum")
+    out_dims = tuple(letters[x] for x in rhs)
+    return _charge_out(dr, Arr(out_dims), flops)
+
+
+def _i_alloc(dr: FnDeriver, node: ast.Call) -> Arr:
+    if not node.args:
+        raise Fail("allocation without a shape")
+    dims = _shape_to_dims(dr.eval(node.args[0]))
+    return _charge_out(dr, Arr(dims), None)
+
+
+def _i_alloc_like(dr: FnDeriver, node: ast.Call) -> Arr:
+    if not node.args:
+        raise Fail("*_like without a prototype")
+    proto = _need_arr(dr.eval(node.args[0]), "*_like prototype")
+    return _charge_out(dr, Arr(proto.dims, lead=proto.lead), None)
+
+
+def _i_copy(dr: FnDeriver, node: ast.Call) -> Arr:
+    if not node.args:
+        raise Fail("copy without an argument")
+    src = _need_arr(dr.eval(node.args[0]), "copy source")
+    return _charge_out(dr, Arr(src.dims, lead=src.lead), None)
+
+
+def _i_pad(dr: FnDeriver, node: ast.Call) -> Arr:
+    if len(node.args) < 2:
+        raise Fail("pad needs explicit widths")
+    src = _need_arr(dr.eval(node.args[0]), "pad source")
+    if src.lead is not None:
+        raise Fail("pad on an ellipsis-shaped array")
+    widths = dr.eval(node.args[1])
+    if not isinstance(widths, Tup):
+        raise Fail("pad widths are not a literal tuple")
+    dims = list(src.dims)
+    items = widths.items
+    if len(items) != len(dims):
+        raise Fail("pad widths arity mismatch")
+    out: List[Optional[SymDim]] = []
+    for dim, pair in zip(dims, items):
+        if not (isinstance(pair, Tup) and len(pair.items) == 2):
+            raise Fail("pad widths must be (lo, hi) pairs")
+        lo, hi = pair.items
+        if dim is None or not isinstance(lo, SymDim) or not isinstance(hi, SymDim):
+            out.append(None)
+        else:
+            out.append(dim + lo + hi)
+    return _charge_out(dr, Arr(tuple(out)), None)
+
+
+def _i_elementwise(dr: FnDeriver, node: ast.Call) -> Arr:
+    vals = [dr.eval(a) for a in node.args]
+    return dr._elementwise(vals)
+
+
+def _i_transpose(dr: FnDeriver, node: ast.Call) -> Arr:
+    if not node.args:
+        raise Fail("transpose without an argument")
+    src = _need_arr(dr.eval(node.args[0]), "transpose source")
+    return _m_transpose(dr, src, node, arg_offset=1)
+
+
+def _i_sliding_window(dr: FnDeriver, node: ast.Call) -> Arr:
+    if len(node.args) < 2:
+        raise Fail("sliding_window_view needs a window shape")
+    src = _need_arr(dr.eval(node.args[0]), "sliding_window_view source")
+    if src.lead is not None:
+        raise Fail("sliding_window_view on an ellipsis-shaped array")
+    window = dr.eval(node.args[1])
+    windows: Sequence[object]
+    if isinstance(window, Tup):
+        windows = window.items
+    else:
+        windows = [window]
+    axis_node = node.args[2] if len(node.args) > 2 else _kwarg(node, "axis")
+    if axis_node is not None:
+        axis_val = dr.eval(axis_node)
+        if isinstance(axis_val, Tup):
+            axes = []
+            for item in axis_val.items:
+                c = item.as_const() if isinstance(item, SymDim) else None
+                if c is None:
+                    raise Fail("sliding_window_view axis is not constant")
+                axes.append(int(c))
+        else:
+            c = axis_val.as_const() if isinstance(axis_val, SymDim) else None
+            if c is None:
+                raise Fail("sliding_window_view axis is not constant")
+            axes = [int(c)]
+    else:
+        axes = list(range(len(src.dims) - len(windows), len(src.dims)))
+    if len(axes) != len(windows):
+        raise Fail("sliding_window_view window/axis arity mismatch")
+    dims = list(src.dims)
+    appended: List[Optional[SymDim]] = []
+    for ax, w in zip(axes, windows):
+        ax %= len(dims)
+        if not isinstance(w, SymDim) or dims[ax] is None:
+            raise Fail("sliding_window_view extent unknown")
+        dims[ax] = dims[ax] - w + ONE
+        appended.append(w)
+    return Arr(tuple(dims) + tuple(appended))  # a view: free
+
+
+def _i_as_strided(dr: FnDeriver, node: ast.Call) -> Arr:
+    shape_node = node.args[1] if len(node.args) > 1 else _kwarg(node, "shape")
+    if shape_node is None:
+        raise Fail("as_strided needs an explicit shape")
+    dims = _shape_to_dims(dr.eval(shape_node))
+    return Arr(dims)  # a view: free (strides deliberately not evaluated)
+
+
+def _i_prod(dr: FnDeriver, node: ast.Call) -> Optional[SymDim]:
+    if len(node.args) != 1:
+        return None
+    value = dr.eval(node.args[0])
+    if isinstance(value, Tup) and all(
+        isinstance(v, SymDim) for v in value.items
+    ):
+        total = ONE
+        for v in value.items:
+            total = total * v
+        return total
+    if isinstance(value, Arr):
+        return value.size()
+    return None
+
+
+_ELEMENTWISE_UFUNCS = (
+    "maximum", "minimum", "abs", "exp", "sqrt", "sign", "tanh", "where",
+    "clip", "square", "add", "subtract", "multiply",
+)
+
+_INTRINSICS = {
+    "matmul": _i_matmul,
+    "dot": _i_matmul,
+    "tensordot": _i_tensordot,
+    "einsum": _i_einsum,
+    "zeros": _i_alloc,
+    "ones": _i_alloc,
+    "empty": _i_alloc,
+    "full": _i_alloc,
+    "zeros_like": _i_alloc_like,
+    "ones_like": _i_alloc_like,
+    "empty_like": _i_alloc_like,
+    "full_like": _i_alloc_like,
+    "copy": _i_copy,
+    "ascontiguousarray": _i_copy,
+    "asarray": _i_copy,
+    "array": _i_copy,
+    "pad": _i_pad,
+    "transpose": _i_transpose,
+    "sliding_window_view": _i_sliding_window,
+    "as_strided": _i_as_strided,
+    "prod": _i_prod,
+}
+for _name in _ELEMENTWISE_UFUNCS:
+    _INTRINSICS[_name] = _i_elementwise
+
+
+def _m_transpose(
+    dr: FnDeriver, src: Arr, node: ast.Call, arg_offset: int = 0
+) -> Arr:
+    if src.lead is not None:
+        raise Fail("transpose on an ellipsis-shaped array")
+    perm_args = node.args[arg_offset:]
+    if not perm_args:
+        return Arr(tuple(reversed(src.dims)))
+    if len(perm_args) == 1:
+        value = dr.eval(perm_args[0])
+        items = value.items if isinstance(value, Tup) else [value]
+    else:
+        items = [dr.eval(a) for a in perm_args]
+    perm = []
+    for item in items:
+        c = item.as_const() if isinstance(item, SymDim) else None
+        if c is None or c.denominator != 1:
+            raise Fail("transpose permutation is not constant")
+        perm.append(int(c))
+    if sorted(perm) != list(range(len(src.dims))):
+        raise Fail("transpose permutation does not match rank")
+    return Arr(tuple(src.dims[i] for i in perm))
+
+
+def _m_transpose_method(dr: FnDeriver, src: Arr, node: ast.Call) -> Arr:
+    return _m_transpose(dr, src, node, arg_offset=0)
+
+
+def _m_reshape(dr: FnDeriver, src: Arr, node: ast.Call) -> Arr:
+    # view semantics assumed: reshape of a contiguous result is free (a
+    # deliberate under-approximation, documented in docs/statcheck.md)
+    if src.lead is not None:
+        raise Fail("reshape on an ellipsis-shaped array")
+    if len(node.args) == 1:
+        value = dr.eval(node.args[0])
+        items = value.items if isinstance(value, Tup) else [value]
+    else:
+        items = [dr.eval(a) for a in node.args]
+    total = src.size()
+    dims: List[Optional[SymDim]] = []
+    hole = None
+    for i, item in enumerate(items):
+        if not isinstance(item, SymDim):
+            raise Fail("reshape extent unknown")
+        c = item.as_const()
+        if c is not None and c == -1:
+            if hole is not None:
+                raise Fail("reshape with two -1 extents")
+            hole = i
+            dims.append(None)
+        else:
+            dims.append(item)
+    if hole is not None:
+        if total is None:
+            raise Fail("reshape -1 with unknown total")
+        known = ONE
+        for d in dims:
+            if d is not None:
+                known = known * d
+        missing = total.exact_div(known)
+        if missing is None:
+            raise Fail("reshape -1 does not divide the total extent")
+        dims[hole] = missing
+    return Arr(tuple(dims))
+
+
+def _m_copy(dr: FnDeriver, src: Arr, node: ast.Call) -> Arr:
+    return _charge_out(dr, Arr(src.dims, lead=src.lead), None)
+
+
+def _m_ravel(dr: FnDeriver, src: Arr, node: ast.Call) -> Arr:
+    size = src.size()
+    if size is None:
+        raise Fail("ravel of unknown extent")
+    return Arr((size,))
+
+
+def _m_flatten(dr: FnDeriver, src: Arr, node: ast.Call) -> Arr:
+    size = src.size()
+    if size is None:
+        raise Fail("flatten of unknown extent")
+    return _charge_out(dr, Arr((size,)), None)
+
+
+_ARR_METHODS = {
+    "transpose": _m_transpose_method,
+    "reshape": _m_reshape,
+    "astype": _m_copy,
+    "copy": _m_copy,
+    "ravel": _m_ravel,
+    "flatten": _m_flatten,
+}
+
+
+# ---------------------------------------------------------------------------
+# the per-file pass
+# ---------------------------------------------------------------------------
+
+
+class DerivedCost:
+    """One derivation result (main path plus recorded fast paths)."""
+
+    __slots__ = ("flops", "mem", "ret", "alternatives")
+
+    def __init__(self, deriver: FnDeriver) -> None:
+        self.flops = deriver.flops
+        self.mem = deriver.mem
+        self.ret = deriver.ret if deriver.ret is not _UNSET else None
+        self.alternatives = list(deriver.alternatives)
+
+
+def _side_by_side(label: str, derived: SymDim, declared: SymDim) -> str:
+    return (
+        f"\n    derived {label}:  {derived}"
+        f"\n    declared {label}: {declared}"
+    )
+
+
+class CostPass:
+    """COST-family analysis of one file (cached per :class:`Context`)."""
+
+    def __init__(self, path: str, tree: ast.Module) -> None:
+        self.path = path
+        self.tree = tree
+        self.events: List[Tuple[str, ast.AST, str]] = []
+        self.defs = collect_contracts(tree)
+        self.registry = registry_for(path, tree)
+        self.base_env = _module_int_env(tree)
+        self.derived: Dict[str, DerivedCost] = {}
+        self._run()
+
+    def resolve(self, name: str):
+        return self.registry.get(name)
+
+    # ---- orchestration ---------------------------------------------------
+
+    def _run(self) -> None:
+        seen = set()
+        costed: List[ContractDef] = []
+        for info in self.defs:
+            if info.cost_decorator is None:
+                continue
+            if info.qualname in seen:
+                continue
+            seen.add(info.qualname)
+            costed.append(info)
+        for info in costed:
+            self._check_one(info)
+        self._check_traffic(costed)
+        self._check_wire(costed)
+        self._check_baseline(costed)
+        self._check_memo_keys(costed)
+
+    def _event(self, rule: str, node: ast.AST, message: str) -> None:
+        self.events.append((rule, node, message))
+
+    # ---- COST001 ---------------------------------------------------------
+
+    def _check_one(self, info: ContractDef) -> None:
+        node = info.cost_decorator or info.node
+        if info.cost_error is not None:
+            self._event("COST001", node, f"{info.qualname}: {info.cost_error}")
+            return
+        cc = info.cost
+        if cc is None or cc.assume:
+            return
+        if cc.exec_only():
+            self._verify_exec(info)
+            return
+        if info.contract is None:
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: @cost needs a @shaped contract to bind "
+                f"its symbols",
+            )
+            return
+        try:
+            derived = self._derive(info)
+        except Fail as exc:
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: could not derive cost: {exc}",
+            )
+            return
+        except (SymDimError, ZeroDivisionError, RecursionError) as exc:
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: could not derive cost: {exc}",
+            )
+            return
+        self.derived[info.qualname] = derived
+        wenv = cc.where_env()
+        decl_flops = cc.closed(cc.flops) if cc.flops is not None else ZERO
+        decl_mem = cc.closed(cc.mem) if cc.mem is not None else ZERO
+        paths = [("", derived.flops, derived.mem, derived.ret)]
+        for i, (af, am, ar) in enumerate(derived.alternatives, start=1):
+            paths.append((f" (fast path {i})", af, am, ar))
+        for suffix, flops, mem, ret in paths:
+            got_flops = flops.subs(wenv)
+            got_mem = mem.subs(wenv)
+            if not dims_equivalent(got_flops, decl_flops):
+                self._event(
+                    "COST001", node,
+                    f"{info.qualname}{suffix}: derived flop count disagrees "
+                    f"with the @cost declaration"
+                    + _side_by_side("flops", got_flops, decl_flops),
+                )
+            if not dims_equivalent(got_mem, decl_mem):
+                self._event(
+                    "COST001", node,
+                    f"{info.qualname}{suffix}: derived bytes-moved disagrees "
+                    f"with the @cost declaration"
+                    + _side_by_side("mem", got_mem, decl_mem),
+                )
+            if cc.ret is not None:
+                decl_ret = cc.closed(cc.ret)
+                if not isinstance(ret, SymDim):
+                    self._event(
+                        "COST001", node,
+                        f"{info.qualname}{suffix}: @cost declares ret= but "
+                        f"the derived return value is not a scalar "
+                        f"polynomial",
+                    )
+                elif not dims_equivalent(ret.subs(wenv), decl_ret):
+                    self._event(
+                        "COST001", node,
+                        f"{info.qualname}{suffix}: derived return value "
+                        f"disagrees with the @cost declaration"
+                        + _side_by_side("ret", ret.subs(wenv), decl_ret),
+                    )
+
+    def _derive(self, info: ContractDef) -> DerivedCost:
+        fn = info.node
+        if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            raise Fail("definition node unavailable")
+        env: Dict[str, object] = dict(self.base_env)
+        class_name = (
+            info.qualname.rsplit(".", 1)[0] if "." in info.qualname else None
+        )
+        all_params = [a.arg for a in fn.args.posonlyargs + fn.args.args]
+        if all_params and all_params[0] in ("self", "cls"):
+            self_name = all_params[0]
+            fact = facts.CLASS_SELF_FACTS.get(class_name or "")
+            env[self_name] = fact() if fact is not None else None
+        contract = info.contract
+        entries = contract.args if contract is not None else ()
+        for param, entry in itertools.zip_longest(info.params, entries):
+            if param is None:
+                break
+            if entry is None:
+                env[param] = None
+            elif entry.kind == "scalar":
+                env[param] = entry.expr
+            elif entry.kind == "array":
+                lead = sym("ELL") if entry.ellipsis else None
+                env[param] = Arr(entry.dims, lead=lead)
+            else:
+                fact = facts.PARAM_FACTS.get(param)
+                env[param] = fact() if fact is not None else None
+        shared = _Shared(self)
+        deriver = FnDeriver(shared, env)
+        deriver.run_body(fn.body)
+        return DerivedCost(deriver)
+
+    # ---- exec-verified list summaries ------------------------------------
+
+    _BATTERY = (1, 2, 3, 4, 5, 8)
+
+    def _verify_exec(self, info: ContractDef) -> None:
+        node = info.cost_decorator or info.node
+        cc = info.cost
+        fn = info.node
+        if not isinstance(fn, ast.FunctionDef):
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: exec-only summary on an unsupported "
+                f"definition",
+            )
+            return
+        impure = _function_impurity(fn)
+        if impure is not None:
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: exec-only summary cannot be verified: "
+                f"impure free name {impure!r}",
+            )
+            return
+        syms: List[str] = []
+        entries = info.contract.args if info.contract is not None else ()
+        if len(entries) != len(info.params):
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: exec-only summary needs a full scalar "
+                f"@shaped contract",
+            )
+            return
+        for entry in entries:
+            name = _bare_sym(entry.expr) if entry.kind == "scalar" else None
+            if name is None:
+                self._event(
+                    "COST001", node,
+                    f"{info.qualname}: exec-only summary needs scalar "
+                    f"bare-symbol arguments",
+                )
+                return
+            syms.append(name)
+        module = ast.Module(body=[_strip_decorators(fn)], type_ignores=[])
+        ast.fix_missing_locations(module)
+        namespace = _exec_sandbox()
+        try:
+            exec(compile(module, "<statcheck-cost>", "exec"), namespace)
+        except Exception as exc:  # pragma: no cover - defensive
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: exec-only summary failed to compile: {exc}",
+            )
+            return
+        impl = namespace[fn.name]
+        values = self._BATTERY if len(syms) <= 2 else self._BATTERY[:4]
+        successes = 0
+        for combo in itertools.product(values, repeat=len(syms)):
+            env = dict(zip(syms, combo))
+            try:
+                result = impl(*combo)
+            except Exception:
+                continue
+            if not isinstance(result, (list, tuple)):
+                self._event(
+                    "COST001", node,
+                    f"{info.qualname}: exec-only summary did not return a "
+                    f"list for arguments {env}",
+                )
+                return
+            if cc.ret_len is not None:
+                want = cc.closed(cc.ret_len).evaluate(env)
+                if len(result) != want:
+                    self._event(
+                        "COST001", node,
+                        f"{info.qualname}: length {len(result)} != declared "
+                        f"ret_len {cc.ret_len} = {want} for {env}",
+                    )
+                    return
+            for i, decl in enumerate(cc.ret_sum or ()):
+                if decl is None:
+                    continue
+                if result and isinstance(result[0], (list, tuple)):
+                    got = sum(item[i] for item in result)
+                else:
+                    if i != 0 or (cc.ret_sum and len(cc.ret_sum) != 1):
+                        self._event(
+                            "COST001", node,
+                            f"{info.qualname}: ret_sum declares "
+                            f"{len(cc.ret_sum)} components but elements "
+                            f"are scalars",
+                        )
+                        return
+                    got = sum(result)
+                want = cc.closed(decl).evaluate(env)
+                if got != want:
+                    self._event(
+                        "COST001", node,
+                        f"{info.qualname}: component {i} sums to {got} != "
+                        f"declared {decl} = {want} for {env}",
+                    )
+                    return
+            successes += 1
+        if successes == 0:
+            self._event(
+                "COST001", node,
+                f"{info.qualname}: exec-only summary could not be executed "
+                f"on any battery input",
+            )
+
+    # ---- COST002 ---------------------------------------------------------
+
+    def _check_traffic(self, costed: List[ContractDef]) -> None:
+        for info in costed:
+            fact = facts.TRAFFIC_FACTS.get(info.name)
+            if fact is None:
+                continue
+            cc = info.cost
+            node = info.cost_decorator or info.node
+            if cc is None or cc.ret is None:
+                self._event(
+                    "COST002", node,
+                    f"{info.qualname}: traffic helper lacks a @cost ret= "
+                    f"declaration to check against the analytical model",
+                )
+                continue
+            declared = cc.closed(cc.ret)
+            if not dims_equivalent(declared, fact):
+                self._event(
+                    "COST002", node,
+                    f"{info.qualname}: declared traffic polynomial disagrees "
+                    f"with the comm_model analytical factor"
+                    + _side_by_side("bytes", declared, fact),
+                )
+        for cls in ast.walk(self.tree):
+            if not (
+                isinstance(cls, ast.ClassDef)
+                and cls.name == facts.TRAFFIC_MACHINE_CLASS
+            ):
+                continue
+            called = set()
+            for sub in ast.walk(cls):
+                if isinstance(sub, ast.Call):
+                    fn = sub.func
+                    if isinstance(fn, ast.Name):
+                        called.add(fn.id)
+                    elif isinstance(fn, ast.Attribute):
+                        called.add(fn.attr)
+            missing = sorted(set(facts.TRAFFIC_FACTS) - called)
+            if missing:
+                self._event(
+                    "COST002", cls,
+                    f"{cls.name}: traffic counters must route through the "
+                    f"checked helpers; missing calls to {missing}",
+                )
+
+    # ---- COST004 ---------------------------------------------------------
+
+    def _check_wire(self, costed: List[ContractDef]) -> None:
+        for info in costed:
+            fact = facts.WIRE_FACTS.get(info.name)
+            if fact is None:
+                continue
+            cc = info.cost
+            node = info.cost_decorator or info.node
+            if cc is None or cc.ret is None:
+                self._event(
+                    "COST004", node,
+                    f"{info.qualname}: collective wire-byte helper lacks a "
+                    f"@cost ret= declaration",
+                )
+                continue
+            declared = cc.closed(cc.ret)
+            if not dims_equivalent(declared, fact):
+                self._event(
+                    "COST004", node,
+                    f"{info.qualname}: declared wire bytes disagree with the "
+                    f"collective's closed form"
+                    + _side_by_side("bytes", declared, fact),
+                )
+        defined = {
+            st.name
+            for st in ast.walk(self.tree)
+            if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        for anchor, required in facts.WIRE_PRESENCE.items():
+            if anchor not in defined:
+                continue
+            missing = sorted(set(required) - defined)
+            if missing:
+                anchor_node = next(
+                    st for st in ast.walk(self.tree)
+                    if isinstance(st, (ast.FunctionDef, ast.AsyncFunctionDef))
+                    and st.name == anchor
+                )
+                self._event(
+                    "COST004", anchor_node,
+                    f"{anchor}: module must define the checked wire-byte "
+                    f"helpers {missing}",
+                )
+
+    # ---- COST003 ---------------------------------------------------------
+
+    def _check_baseline(self, costed: List[ContractDef]) -> None:
+        baseline, keyer = self._load_baseline()
+        if baseline is None:
+            return
+        for info in costed:
+            cc = info.cost
+            if cc is None:
+                continue
+            key = keyer(info)
+            entry = baseline.get(key)
+            if entry is None:
+                continue  # new function: recorded at the next baseline regen
+            node = info.cost_decorator or info.node
+            current = cost_signature(cc)
+            for quantity, sig in current.items():
+                old = entry.get(quantity, {})
+                for name, degree in sig.items():
+                    prior = old.get(name, 0)
+                    if degree > prior:
+                        self._event(
+                            "COST003", node,
+                            f"{info.qualname}: declared {quantity} grew from "
+                            f"degree {prior} to {degree} in {name} vs the "
+                            f"checked-in complexity baseline "
+                            f"(statcheck/costs/baseline.json); regenerate it "
+                            f"deliberately if the increase is intended",
+                        )
+
+    def _load_baseline(self):
+        candidate = Path(self.path)
+        override = (
+            candidate.parent / "statcheck-cost-baseline.json"
+            if self.path != "<string>"
+            else Path("statcheck-cost-baseline.json")
+        )
+        if override.is_file():
+            try:
+                data = json.loads(override.read_text(encoding="utf-8"))
+            except (OSError, ValueError):
+                return None, None
+            functions = data.get("functions", {})
+            fname = candidate.name
+            return functions, lambda info: f"{fname}::{info.qualname}"
+        if not candidate.is_file():
+            return None, None
+        from ..registry import _package_root
+
+        root = _package_root(candidate)
+        if root is None:
+            return None, None
+        from .baseline import load_packaged_baseline
+
+        functions = load_packaged_baseline()
+        if functions is None:
+            return None, None
+        rel = candidate.resolve().relative_to(root).as_posix()
+        return functions, lambda info: f"{rel}::{info.qualname}"
+
+    # ---- COST005 ---------------------------------------------------------
+
+    def _check_memo_keys(self, costed: List[ContractDef]) -> None:
+        for info in costed:
+            if "memoize_sweep" not in info.decorators:
+                continue
+            cc = info.cost
+            if cc is None:
+                continue
+            node = info.cost_decorator or info.node
+            bindable = {"ELL"} if any(
+                e.kind == "array" and e.ellipsis
+                for e in (info.contract.args if info.contract else ())
+            ) else set()
+            entries = info.contract.args if info.contract is not None else ()
+            for param, entry in itertools.zip_longest(info.params, entries):
+                if entry is None or param is None:
+                    continue
+                if entry.kind == "scalar":
+                    name = _bare_sym(entry.expr)
+                    if name:
+                        bindable.add(name)
+                elif entry.kind == "array":
+                    for d in entry.dims:
+                        name = _bare_sym(d)
+                        if name:
+                            bindable.add(name)
+                else:
+                    fact = facts.PARAM_FACTS.get(param)
+                    made = fact() if fact is not None else None
+                    if isinstance(made, Geom):
+                        bindable |= set(Geom.BIND_SYMS)
+                    elif isinstance(made, Xform):
+                        bindable |= {"M", "R", "T"}
+            for quantity, expr in (
+                ("flops", cc.flops), ("mem", cc.mem), ("ret", cc.ret),
+            ):
+                if expr is None:
+                    continue
+                free = cc.closed(expr).free_symbols()
+                leaked = sorted(free - bindable)
+                if leaked:
+                    self._event(
+                        "COST005", node,
+                        f"{info.qualname}: memoized sweep cost depends on "
+                        f"{leaked} which the memo key (the function "
+                        f"arguments) cannot determine — cached results will "
+                        f"be reused across different {leaked} values",
+                    )
+
+
+def cost_signature(cc) -> Dict[str, Dict[str, int]]:
+    """Per-quantity ``{symbol: degree}`` asymptotic signature."""
+    out: Dict[str, Dict[str, int]] = {}
+    for quantity, expr in (
+        ("flops", cc.flops), ("mem", cc.mem), ("ret", cc.ret),
+    ):
+        if expr is None:
+            continue
+        closed = cc.closed(expr)
+        sig = {
+            name: closed.degree_in(name)
+            for name in sorted(closed.free_symbols())
+        }
+        out[quantity] = {k: v for k, v in sig.items() if v > 0}
+    return out
+
+
+def cost_pass(ctx) -> CostPass:
+    """The per-file pass, computed once and shared by all COST rules."""
+    cached = ctx.cache.get("cost_pass")
+    if cached is None:
+        cached = ctx.cache["cost_pass"] = CostPass(ctx.path, ctx.tree)
+    return cached

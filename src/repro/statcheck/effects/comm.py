@@ -126,6 +126,7 @@ def _sandbox() -> Dict[str, object]:
         "shaped": _stub_decorator,
         "partitioned": _stub_decorator,
         "checked": _stub_decorator,
+        "cost": _stub_decorator,
         "Message": _FakeMessage,
         "NetworkSimulator": object,
         "HardwareParams": object,

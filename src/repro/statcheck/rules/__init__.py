@@ -5,6 +5,7 @@ from __future__ import annotations
 
 from . import (  # noqa: F401
     config_rules,
+    cost_rules,
     determinism,
     effect_rules,
     parallel_rules,
@@ -15,6 +16,7 @@ from . import (  # noqa: F401
 
 __all__ = [
     "config_rules",
+    "cost_rules",
     "determinism",
     "effect_rules",
     "parallel_rules",

@@ -144,6 +144,26 @@ class SymDim:
                     names |= atom.den.free_symbols()
         return frozenset(names)
 
+    def degree_in(self, name: str) -> int:
+        """Max exponent of ``name`` over all monomials (asymptotic degree).
+
+        Division atoms contribute the degree of their *numerator* (scaled
+        by the atom's exponent); the denominator is ignored, which keeps
+        the measure conservative: ``ceildiv(H, M) * M`` reports degree 1
+        in both ``H`` and ``M`` even though the product is ~``H``.
+        """
+        best = 0
+        for mono, _ in self._terms:
+            total = 0
+            for atom, exp in mono:
+                if isinstance(atom, str):
+                    if atom == name:
+                        total += exp
+                else:
+                    total += exp * atom.num.degree_in(name)
+            best = max(best, total)
+        return best
+
     def linear_in(self, name: str) -> Optional[Tuple[Fraction, "SymDim"]]:
         """``(a, b)`` with ``self == a * name + b`` when the dimension is
         affine in ``name`` (and ``name`` appears in no division atom)."""

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..contracts import shaped
+from ..contracts import TILE_GEOMETRY, cost, shaped
 from ..perf import phase
 from .cook_toom import WinogradTransform, make_transform
 from .tiling import (
@@ -34,6 +34,7 @@ from .tiling import (
 
 
 @shaped("(B,I,TH,TW,T,T), (J,I,T,T) -> (B,J,TH,TW,T,T)")
+@cost(flops="2*B*I*J*TH*TW*T**2", mem="8*B*J*TH*TW*T**2")
 def elementwise_matmul(tiles: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """The ``T^2`` independent matrix products of paper Equation 2.
 
@@ -60,6 +61,7 @@ def elementwise_matmul(tiles: np.ndarray, weights: np.ndarray) -> np.ndarray:
 
 
 @shaped("(B,J,TH,TW,T,T), (J,I,T,T) -> (B,I,TH,TW,T,T)")
+@cost(flops="2*B*I*J*TH*TW*T**2", mem="8*B*I*TH*TW*T**2")
 def elementwise_matmul_transposed(tiles_grad: np.ndarray, weights: np.ndarray) -> np.ndarray:
     """Backward-to-input of :func:`elementwise_matmul`:
     ``dX(u,v) = dY(u,v) @ W(u,v)^T``."""
@@ -73,6 +75,7 @@ def elementwise_matmul_transposed(tiles_grad: np.ndarray, weights: np.ndarray) -
 
 
 @shaped("(B,I,TH,TW,T,T), (B,J,TH,TW,T,T) -> (J,I,T,T)")
+@cost(flops="2*B*I*J*TH*TW*T**2", mem="8*I*J*T**2")
 def elementwise_weight_grad(tiles: np.ndarray, tiles_grad: np.ndarray) -> np.ndarray:
     """Winograd-domain weight gradient:
     ``dW(u,v) = X(u,v)^T @ dY(u,v)`` summed over batch and tiles."""
@@ -94,6 +97,14 @@ class WinogradConvCache:
 
 
 @shaped("(B,I,H,W), (J,I,T,T), _, P -> (B,J,H+2*P-R+1,W+2*P-R+1), _")
+@cost(
+    flops="4*B*I*TH*TW*T**3 + 2*B*I*J*TH*TW*T**2 + 2*B*J*TH*TW*M*T*(M+T)",
+    mem=(
+        "4*B*I*(PH*PW + H*W + TH*TW*T**2) + 8*B*I*TH*TW*T**2"
+        " + 8*B*J*TH*TW*T**2 + 4*B*J*TH*TW*M*(M+T) + 4*B*J*OH*OW"
+    ),
+    where=TILE_GEOMETRY,
+)
 def winograd_forward(
     x: np.ndarray,
     weights_wd: np.ndarray,
@@ -136,6 +147,14 @@ def winograd_forward(
 
 
 @shaped("(B,J,OH,OW), (J,I,T,T), _, _ -> (B,I,H,W), (J,I,T,T)")
+@cost(
+    flops="2*B*J*TH*TW*M*T*(M+T) + 4*B*I*J*TH*TW*T**2 + 4*B*I*TH*TW*T**3",
+    mem=(
+        "4*B*J*(2*TH*TW*M**2 + OH*OW) + 4*B*J*TH*TW*T*(M+T) + 8*I*J*T**2"
+        " + 16*B*I*TH*TW*T**2 + 4*B*I*(PH*PW + TH*TW*T**2)"
+    ),
+    where=TILE_GEOMETRY,
+)
 def winograd_backward(
     dy: np.ndarray,
     weights_wd: np.ndarray,
@@ -160,6 +179,18 @@ def winograd_backward(
 
 
 @shaped("(B,I,H,W), (J,I,R,R), _, P -> (B,J,H+2*P-R+1,W+2*P-R+1), _")
+@cost(
+    flops=(
+        "2*I*J*R*T*(R+T) + 4*B*I*TH*TW*T**3 + 2*B*I*J*TH*TW*T**2"
+        " + 2*B*J*TH*TW*M*T*(M+T)"
+    ),
+    mem=(
+        "4*I*J*T*(R+T) + 4*B*I*(PH*PW + H*W + TH*TW*T**2)"
+        " + 8*B*I*TH*TW*T**2 + 8*B*J*TH*TW*T**2 + 4*B*J*TH*TW*M*(M+T)"
+        " + 4*B*J*OH*OW"
+    ),
+    where=TILE_GEOMETRY,
+)
 def winograd_forward_spatial(
     x: np.ndarray,
     w: np.ndarray,
@@ -171,6 +202,18 @@ def winograd_forward_spatial(
 
 
 @shaped("(B,J,OH,OW), (J,I,R,R), _, _ -> (B,I,H,W), (J,I,R,R)")
+@cost(
+    flops=(
+        "4*I*J*R*T*(R+T) + 2*B*J*TH*TW*M*T*(M+T) + 4*B*I*J*TH*TW*T**2"
+        " + 4*B*I*TH*TW*T**3"
+    ),
+    mem=(
+        "4*I*J*T*(R+T) + 4*I*J*R*(R+T) + 4*B*J*(2*TH*TW*M**2 + OH*OW)"
+        " + 4*B*J*TH*TW*T*(M+T) + 8*I*J*T**2 + 16*B*I*TH*TW*T**2"
+        " + 4*B*I*(PH*PW + TH*TW*T**2)"
+    ),
+    where=TILE_GEOMETRY,
+)
 def winograd_backward_spatial(
     dy: np.ndarray,
     w: np.ndarray,
@@ -184,6 +227,7 @@ def winograd_backward_spatial(
 
 
 @shaped("(J,I,R,R), _ -> (J,I,T,T)")
+@cost(flops="2*I*J*R*T*(R+T)", mem="4*I*J*T*(R+T)", where="T=M+R-1")
 def spatial_to_winograd(w: np.ndarray, transform: WinogradTransform) -> np.ndarray:
     """Lift spatial weights ``(J, I, r, r)`` into the Winograd domain."""
     return transform.transform_weight(w)

@@ -28,7 +28,7 @@ from typing import List, Sequence
 
 import numpy as np
 
-from ..contracts import shaped
+from ..contracts import cost, shaped
 from .points import default_points
 
 FractionMatrix = List[List[Fraction]]
@@ -164,22 +164,26 @@ class WinogradTransform:
 
     # ---- 1D helpers -----------------------------------------------------
     @shaped("(...,T) -> (...,T)")
+    @cost(flops="2*ELL*T**2", mem="4*ELL*T")
     def transform_input_1d(self, x: np.ndarray) -> np.ndarray:
         """``B^T x`` along the last axis (length ``T``)."""
         return np.tensordot(x, self.B, axes=([-1], [0]))
 
     @shaped("(...,R) -> (...,T)")
+    @cost(flops="2*ELL*R*T", mem="4*ELL*T")
     def transform_weight_1d(self, w: np.ndarray) -> np.ndarray:
         """``G w`` along the last axis (length ``r``)."""
         return np.tensordot(w, self.G, axes=([-1], [1]))
 
     @shaped("(...,T) -> (...,M)")
+    @cost(flops="2*ELL*M*T", mem="4*ELL*M")
     def inverse_transform_1d(self, Y: np.ndarray) -> np.ndarray:
         """``A^T Y`` along the last axis (length ``T``)."""
         return np.tensordot(Y, self.A, axes=([-1], [0]))
 
     # ---- 2D helpers -----------------------------------------------------
     @shaped("(...,T,T) -> (...,T,T)")
+    @cost(flops="4*ELL*T**3", mem="8*ELL*T**2")
     def transform_input(self, x: np.ndarray) -> np.ndarray:
         """``B^T x B`` applied to the trailing two axes (each length ``T``)."""
         out = np.tensordot(x, self.B, axes=([-2], [0]))
@@ -187,6 +191,7 @@ class WinogradTransform:
         return out
 
     @shaped("(...,R,R) -> (...,T,T)")
+    @cost(flops="2*ELL*R*T*(R+T)", mem="4*ELL*T*(R+T)")
     def transform_weight(self, w: np.ndarray) -> np.ndarray:
         """``G w G^T`` applied to the trailing two axes (each length ``r``)."""
         out = np.tensordot(w, self.G, axes=([-2], [1]))
@@ -194,6 +199,7 @@ class WinogradTransform:
         return out
 
     @shaped("(...,T,T) -> (...,M,M)")
+    @cost(flops="2*ELL*M*T*(M+T)", mem="4*ELL*M*(M+T)")
     def inverse_transform(self, Y: np.ndarray) -> np.ndarray:
         """``A^T Y A`` applied to the trailing two axes (each length ``T``)."""
         out = np.tensordot(Y, self.A, axes=([-2], [0]))
@@ -202,6 +208,7 @@ class WinogradTransform:
 
     # ---- transposed (gradient) operators --------------------------------
     @shaped("(...,M,M) -> (...,T,T)")
+    @cost(flops="2*ELL*M*T*(M+T)", mem="4*ELL*T*(M+T)")
     def inverse_transform_transposed(self, dy: np.ndarray) -> np.ndarray:
         """Transpose of :meth:`inverse_transform`: maps ``m x m`` gradients
         to ``T x T`` Winograd-domain gradients (``A dy A^T``)."""
@@ -210,6 +217,7 @@ class WinogradTransform:
         return out
 
     @shaped("(...,T,T) -> (...,T,T)")
+    @cost(flops="4*ELL*T**3", mem="8*ELL*T**2")
     def transform_input_transposed(self, dX: np.ndarray) -> np.ndarray:
         """Transpose of :meth:`transform_input`: maps ``T x T``
         Winograd-domain input gradients back to spatial tiles
@@ -219,6 +227,7 @@ class WinogradTransform:
         return out
 
     @shaped("(...,T,T) -> (...,R,R)")
+    @cost(flops="2*ELL*R*T*(R+T)", mem="4*ELL*R*(R+T)")
     def transform_weight_transposed(self, dW: np.ndarray) -> np.ndarray:
         """Transpose of :meth:`transform_weight`: maps ``T x T``
         Winograd-domain weight gradients to spatial ``r x r`` gradients

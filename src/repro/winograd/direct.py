@@ -14,10 +14,11 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..contracts import shaped
+from ..contracts import cost, shaped
 
 
 @shaped("(B,C,H,W), KH, KW, P -> (B,C,KH,KW,H+2*P-KH+1,W+2*P-KW+1)")
+@cost(mem="4*B*C*(H+2*P)*(W+2*P)")
 def _im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
     """Return patches of shape ``(B, I, kh, kw, H_out, W_out)``."""
     if pad:
@@ -28,6 +29,11 @@ def _im2col(x: np.ndarray, kh: int, kw: int, pad: int) -> np.ndarray:
 
 
 @shaped("(B,I,H,W), (J,I,R,R), P -> (B,J,H+2*P-R+1,W+2*P-R+1)")
+@cost(
+    flops="2*B*I*J*R**2*OH*OW",
+    mem="4*B*I*(H+2*P)*(W+2*P) + 4*B*J*OH*OW",
+    where="OH=H+2*P-R+1; OW=W+2*P-R+1",
+)
 def conv2d_forward(x: np.ndarray, w: np.ndarray, pad: int = 0) -> np.ndarray:
     """Correlation-style 2D convolution, ``y_{b,j} = sum_i x_{b,i} * w_{i,j}``.
 
@@ -54,6 +60,10 @@ def conv2d_forward(x: np.ndarray, w: np.ndarray, pad: int = 0) -> np.ndarray:
 
 
 @shaped("(B,J,OH,OW), (J,I,R,R), P, _ -> (B,I,H,W)")
+@cost(
+    flops="2*B*I*J*R**2*(OH+R-1)*(OW+R-1)",
+    mem="4*B*J*(OH+2*R-2)*(OW+2*R-2) + 4*B*I*(OH+R-1)*(OW+R-1)",
+)
 def conv2d_backward_input(
     dy: np.ndarray, w: np.ndarray, pad: int, in_hw: tuple[int, int]
 ) -> np.ndarray:
@@ -90,6 +100,11 @@ def conv2d_backward_input(
 
 
 @shaped("(B,I,H,W), (B,J,OH,OW), P -> (J,I,H+2*P-OH+1,W+2*P-OW+1)")
+@cost(
+    flops="2*B*I*J*OH*OW*KH*KW",
+    mem="4*B*I*(H+2*P)*(W+2*P) + 4*I*J*KH*KW",
+    where="KH=H+2*P-OH+1; KW=W+2*P-OW+1",
+)
 def conv2d_backward_weight(x: np.ndarray, dy: np.ndarray, pad: int) -> np.ndarray:
     """Weight gradient ``dL/dw_{i,j} = sum_b dy_{b,j} * x_{b,i}``.
 
@@ -117,12 +132,14 @@ def conv2d_backward_weight(x: np.ndarray, dy: np.ndarray, pad: int) -> np.ndarra
 
 
 @shaped("(...) -> (...)")
+@cost(flops="ELL", mem="4*ELL")
 def relu(x: np.ndarray) -> np.ndarray:
     """Rectified linear unit."""
     return np.maximum(x, 0.0)
 
 
 @shaped("(...), (...) -> (...)")
+@cost(flops="2*ELL", mem="8*ELL")
 def relu_grad(y_pre: np.ndarray, dy: np.ndarray) -> np.ndarray:
     """Backward pass of ReLU given the pre-activation values."""
     return dy * (y_pre > 0)

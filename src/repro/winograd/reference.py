@@ -19,9 +19,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..contracts import TILE_GEOMETRY, cost, shaped
 from .tiling import TileGrid, _padded_canvas
 
 
+@shaped("(B,I,TH,TW,T,T), (J,I,T,T) -> (B,J,TH,TW,T,T)")
+@cost(flops="2*B*I*J*TH*TW*T**2", mem="12*B*J*TH*TW*T**2")
 def elementwise_matmul_reference(
     tiles: np.ndarray, weights: np.ndarray
 ) -> np.ndarray:
@@ -43,6 +46,8 @@ def elementwise_matmul_reference(
     return out
 
 
+@shaped("(B,J,TH,TW,T,T), (J,I,T,T) -> (B,I,TH,TW,T,T)")
+@cost(flops="2*B*I*J*TH*TW*T**2", mem="12*B*I*TH*TW*T**2")
 def elementwise_matmul_transposed_reference(
     tiles_grad: np.ndarray, weights: np.ndarray
 ) -> np.ndarray:
@@ -63,6 +68,8 @@ def elementwise_matmul_transposed_reference(
     return out
 
 
+@shaped("(B,I,TH,TW,T,T), (B,J,TH,TW,T,T) -> (J,I,T,T)")
+@cost(flops="2*B*I*J*TH*TW*T**2", mem="12*I*J*T**2")
 def elementwise_weight_grad_reference(
     tiles: np.ndarray, tiles_grad: np.ndarray
 ) -> np.ndarray:
@@ -85,6 +92,8 @@ def elementwise_weight_grad_reference(
     return grad
 
 
+@shaped("(B,C,H,W), _ -> (B,C,TH,TW,T,T)")
+@cost(mem="4*B*C*(PH*PW + H*W + 2*TH*TW*T**2)", where=TILE_GEOMETRY)
 def extract_tiles_reference(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Per-tile copy loop matching :func:`repro.winograd.tiling.extract_tiles`."""
     if x.shape[2] != grid.height or x.shape[3] != grid.width:
@@ -103,6 +112,8 @@ def extract_tiles_reference(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     return tiles
 
 
+@shaped("(B,C,TH,TW,T,T), _ -> (B,C,H,W)")
+@cost(mem="4*B*C*(PH*PW + TH*TW*T**2)", where=TILE_GEOMETRY)
 def extract_tiles_adjoint_reference(
     d_tiles: np.ndarray, grid: TileGrid
 ) -> np.ndarray:
@@ -124,6 +135,8 @@ def extract_tiles_adjoint_reference(
     ]
 
 
+@shaped("(B,C,TH,TW,M,M), _ -> (B,C,OH,OW)")
+@cost(mem="8*B*C*TH*TW*M**2", where=TILE_GEOMETRY)
 def assemble_output_reference(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Per-tile placement loop matching
     :func:`repro.winograd.tiling.assemble_output`."""
@@ -141,6 +154,8 @@ def assemble_output_reference(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarr
     return full[:, :, : grid.out_height, : grid.out_width]
 
 
+@shaped("(B,C,OH,OW), _ -> (B,C,TH,TW,M,M)")
+@cost(mem="4*B*C*(3*TH*TW*M**2 + OH*OW)", where=TILE_GEOMETRY)
 def assemble_output_adjoint_reference(dy: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Per-tile cut loop matching
     :func:`repro.winograd.tiling.assemble_output_adjoint`."""

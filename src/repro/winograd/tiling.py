@@ -17,7 +17,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..contracts import shaped
+from ..contracts import TILE_GEOMETRY, cost, shaped
 
 
 @dataclass(frozen=True)
@@ -86,6 +86,7 @@ class TileGrid:
 
 
 @shaped("(B,C,H,W), _ -> (B,C,PH,PW)")
+@cost(mem="4*B*C*(PH*PW + H*W)", where=TILE_GEOMETRY)
 def _padded_canvas(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Zero-extend ``x`` so that every tile lies fully inside the canvas."""
     batch, channels = x.shape[0], x.shape[1]
@@ -97,6 +98,7 @@ def _padded_canvas(x: np.ndarray, grid: TileGrid) -> np.ndarray:
 
 
 @shaped("(B,C,H,W), _ -> (B,C,TH,TW,T,T)")
+@cost(mem="4*B*C*(PH*PW + H*W + TH*TW*T**2)", where=TILE_GEOMETRY)
 def extract_tiles(x: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Cut a feature map into overlapping ``T x T`` tiles with stride ``m``.
 
@@ -128,6 +130,7 @@ _SCATTER_MIN_TILES = 1024
 
 
 @shaped("(B,C,TH,TW,T,T), _ -> (B,C,H,W)")
+@cost(mem="4*B*C*(PH*PW + TH*TW*T**2)", where=TILE_GEOMETRY)
 def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Adjoint of :func:`extract_tiles`: overlap-add tile gradients.
 
@@ -157,7 +160,22 @@ def extract_tiles_adjoint(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     ]
 
 
+@shaped("T, M -> _")
+@cost(ret_len="ceildiv(T,M)", ret_sum="_, T")
+def _block_phases(tile: int, m: int) -> list:
+    """``m``-strided block decomposition of a length-``tile`` extent.
+
+    Returns ``(start, count)`` pairs: one phase per ``m``-aligned block
+    offset, ``count = min(m, tile - start)``, so the counts sum to
+    ``tile`` and there are ``ceil(tile / m)`` phases.
+    """
+    return [
+        (start, min(m, tile - start)) for start in range(0, tile, m)
+    ]
+
+
 @shaped("(B,C,TH,TW,T,T), _ -> (B,C,H,W)")
+@cost(mem="4*B*C*(PH*PW + TH*TW*T**2)", where=TILE_GEOMETRY)
 def _scatter_tiles_blockphase(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Overlap-add with cost independent of the tile count.
 
@@ -175,10 +193,8 @@ def _scatter_tiles_blockphase(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray
         dtype=d_tiles.dtype,
     )
     stride_b, stride_c, stride_h, stride_w = canvas.strides
-    for block_row in range(0, t, m):
-        rows = min(m, t - block_row)
-        for block_col in range(0, t, m):
-            cols = min(m, t - block_col)
+    for block_row, rows in _block_phases(t, m):
+        for block_col, cols in _block_phases(t, m):
             # Writable strided window: one (rows x cols) block per tile,
             # anchored at (tile_row * m + block_row, ...).  Blocks are
             # disjoint (rows, cols <= m = the tile stride), so the
@@ -205,6 +221,7 @@ def _scatter_tiles_blockphase(d_tiles: np.ndarray, grid: TileGrid) -> np.ndarray
 
 
 @shaped("(B,C,TH,TW,M,M), _ -> (B,C,OH,OW)")
+@cost(mem="4*B*C*OH*OW", where=TILE_GEOMETRY)
 def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Stitch per-tile ``m x m`` outputs into the full output map.
 
@@ -223,6 +240,7 @@ def assemble_output(out_tiles: np.ndarray, grid: TileGrid) -> np.ndarray:
 
 
 @shaped("(B,C,OH,OW), _ -> (B,C,TH,TW,M,M)")
+@cost(mem="4*B*C*(2*TH*TW*M**2 + OH*OW)", where=TILE_GEOMETRY)
 def assemble_output_adjoint(dy: np.ndarray, grid: TileGrid) -> np.ndarray:
     """Adjoint of :func:`assemble_output`: cut an output gradient into
     non-overlapping ``m x m`` tiles (zero-padding past the boundary)."""

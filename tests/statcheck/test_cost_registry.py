@@ -1,0 +1,56 @@
+"""Regression: SHAPE and COST analyses see identical contract registries.
+
+Both passes resolve call sites through :mod:`repro.statcheck.registry`
+(the shared cached builder); this pins that guarantee so neither pass
+can silently regrow its own divergent collection logic.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.statcheck.costs.interp import CostPass
+from repro.statcheck.registry import AMBIGUOUS, _file_contracts, _same_contract
+from repro.statcheck.shapes import ShapePass
+
+REPO = Path(__file__).resolve().parents[2]
+FILES = [
+    REPO / "src" / "repro" / "winograd" / "conv.py",
+    REPO / "src" / "repro" / "core" / "functional.py",
+    REPO / "src" / "repro" / "netsim" / "collectives.py",
+]
+
+
+def _passes(path: Path):
+    tree = ast.parse(path.read_text(encoding="utf-8"))
+    return ShapePass(str(path), tree), CostPass(str(path), tree)
+
+
+def test_shape_and_cost_registries_identical():
+    for path in FILES:
+        shape_pass, cost_pass = _passes(path)
+        assert set(shape_pass.registry) == set(cost_pass.registry), path.name
+        for key, a in shape_pass.registry.items():
+            b = cost_pass.registry[key]
+            if a is AMBIGUOUS or b is AMBIGUOUS:
+                assert a is b, (path.name, key)
+                continue
+            assert a.qualname == b.qualname, (path.name, key)
+            assert _same_contract(a, b), (path.name, key)
+
+
+def test_registry_carries_cost_contracts():
+    # The cost interpreter resolves callee summaries through the same
+    # table SHAPE002 uses — the entries must carry the @cost payloads.
+    _, cost_pass = _passes(FILES[0])  # winograd/conv.py
+    entry = cost_pass.registry["extract_tiles"]
+    assert entry is not AMBIGUOUS
+    assert entry.cost is not None and entry.cost.mem is not None
+
+
+def test_file_collection_is_cached():
+    path = FILES[2]
+    first = _file_contracts(path)
+    second = _file_contracts(path)
+    assert first is second  # mtime/size-keyed cache: parsed exactly once

@@ -248,12 +248,14 @@ class TestShape006SliceConservation:
         assert findings == []
 
     def test_remainder_dropping_split_flagged(self):
-        # The pre-fix ring_allreduce: floor-divided equal slices.
+        # The pre-fix slicing: floor-divided equal slices inside the
+        # ring_slice_sizes helper that ring_allreduce now delegates to.
         mutated = mutate(
             COLLECTIVES,
             """    bounds = [round(i * message_bytes / n) for i in range(n + 1)]
-    slice_sizes = [hi - lo for lo, hi in zip(bounds, bounds[1:])]""",
-            "    slice_bytes = max(1, message_bytes // n)",
+    return [hi - lo for lo, hi in zip(bounds, bounds[1:])]""",
+            "    slice_bytes = max(1, message_bytes // n)\n"
+            "    return [slice_bytes] * n",
         )
         findings = check_source(mutated, select=["SHAPE006"])
         assert "SHAPE006" in rules_of(findings)

@@ -1,0 +1,95 @@
+"""Property tests for the symdims polynomial algebra (hypothesis).
+
+The cost interpreter leans on two algebraic facts: evaluation is a ring
+homomorphism (so summing a loop body symbolically and evaluating equals
+evaluating per iteration and summing), and ``dims_equivalent``'s
+sampled evaluation is sound for the polynomial/``ceildiv`` fragment.
+These properties are fuzzed here over randomly built expressions and
+loop-nest products.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.statcheck.shapes import dims_equivalent
+from repro.statcheck.symdims import SymDim, ceildiv, const, floordiv, sym
+
+SYMS = ("B", "N", "K", "T", "M")
+
+
+@st.composite
+def polys(draw, max_terms: int = 3) -> SymDim:
+    """A random small polynomial over SYMS with non-negative coefficients
+    (cost polynomials are counts — never negative)."""
+    total = const(draw(st.integers(min_value=0, max_value=5)))
+    for _ in range(draw(st.integers(min_value=0, max_value=max_terms))):
+        term = const(draw(st.integers(min_value=1, max_value=4)))
+        for name in draw(
+            st.lists(st.sampled_from(SYMS), min_size=1, max_size=3)
+        ):
+            term = term * sym(name)
+        total = total + term
+    return total
+
+
+envs = st.fixed_dictionaries(
+    {name: st.integers(min_value=1, max_value=9) for name in SYMS}
+)
+
+
+@given(polys(), polys(), envs)
+@settings(max_examples=200, deadline=None)
+def test_evaluation_is_a_ring_homomorphism(a, b, env):
+    assert (a + b).evaluate(env) == a.evaluate(env) + b.evaluate(env)
+    assert (a * b).evaluate(env) == a.evaluate(env) * b.evaluate(env)
+
+
+@given(polys(), envs, st.integers(min_value=0, max_value=7))
+@settings(max_examples=200, deadline=None)
+def test_loop_summation_closed_form(body, env, trips):
+    # The interpreter replaces ``for _ in range(n): <body>`` by
+    # ``n * cost(body)`` — identical to running the loop.
+    symbolic = sym("S") * body
+    looped = sum(body.evaluate(env) for _ in range(trips))
+    assert symbolic.evaluate({**env, "S": trips}) == looped
+
+
+@given(polys(), polys(), polys(), envs)
+@settings(max_examples=200, deadline=None)
+def test_loop_nest_products_distribute(outer, inner, body, env):
+    # A two-deep loop nest costs (outer * inner) * body; nesting order
+    # and flattening must agree.
+    nested = outer * (inner * body)
+    flattened = (outer * inner) * body
+    assert nested == flattened
+    assert nested.evaluate(env) == outer.evaluate(env) * inner.evaluate(
+        env
+    ) * body.evaluate(env)
+
+
+@given(polys(), polys(), envs)
+@settings(max_examples=200, deadline=None)
+def test_ceil_and_floor_division_evaluate_exactly(num, den, env):
+    denominator = den + const(1)  # keep it positive
+    n, d = num.evaluate(env), denominator.evaluate(env)
+    assert ceildiv(num, denominator).evaluate(env) == math.ceil(n / d)
+    assert floordiv(num, denominator).evaluate(env) == n // d
+
+
+@given(polys(), polys())
+@settings(max_examples=200, deadline=None)
+def test_dims_equivalent_respects_ring_laws(a, b):
+    assert dims_equivalent(a * b, b * a)
+    assert dims_equivalent(a + b, b + a)
+    assert dims_equivalent(a * (a + b), a * a + a * b)
+
+
+@given(polys(), polys())
+@settings(max_examples=200, deadline=None)
+def test_dims_equivalent_separates_shifted_polys(a, b):
+    # Soundness in the other direction: adding a strictly positive term
+    # must never be judged equivalent.
+    assert not dims_equivalent(a, a + b + const(1))
