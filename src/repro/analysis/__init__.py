@@ -15,6 +15,7 @@ from .figures import (
     table1_rows,
     table2_rows,
 )
+from .planner import pareto_frontier, planner_pareto_rows, planner_rows
 from .tables import format_table
 
 __all__ = [
@@ -29,6 +30,9 @@ __all__ = [
     "fig16_rows",
     "fig17_rows",
     "fig18_rows",
+    "pareto_frontier",
+    "planner_pareto_rows",
+    "planner_rows",
     "table1_rows",
     "table2_rows",
     "format_table",

@@ -24,6 +24,8 @@ from .analysis import (
     fig17_rows,
     fig18_rows,
     format_table,
+    planner_pareto_rows,
+    planner_rows,
     table1_rows,
     table2_rows,
 )
@@ -114,6 +116,8 @@ FIGURES: Dict[str, Callable[[], List[dict]]] = {
     "table1": table1_rows,
     "table2": table2_rows,
     "faults": fault_degradation_rows,
+    "planner": planner_rows,
+    "planner_pareto": planner_pareto_rows,
 }
 
 
@@ -225,6 +229,62 @@ def cmd_faults(args: argparse.Namespace) -> None:
         print(f"wrote {args.out}")
 
 
+def cmd_plan(args: argparse.Namespace) -> None:
+    """Solve a global parallelization plan and write its JSON report."""
+    from .planner import (
+        PlannerError,
+        StrategyKnobs,
+        config_names,
+        network_names,
+        plan_report,
+        preset_names,
+        report_json,
+    )
+
+    if args.list:
+        print("networks:   " + ", ".join(network_names()))
+        print("configs:    " + ", ".join(config_names()))
+        print("transitions: " + ", ".join(preset_names()))
+        return
+    splits = tuple(
+        int(token) for token in args.batch_splits.split(",") if token.strip()
+    )
+    try:
+        knobs = StrategyKnobs(
+            search_transforms=args.search_transforms,
+            batch_splits=splits,
+            capacity_frac=args.capacity_frac,
+        )
+        report = plan_report(
+            network=args.network,
+            config=args.config,
+            workers=args.machine_workers,
+            batch=args.batch,
+            transition=args.transition,
+            objective=args.objective,
+            modes=tuple(args.modes.split(",")),
+            beam_width=args.beam_width,
+            knobs=knobs,
+            validate=args.validate,
+            sweep_workers=args.workers,
+        )
+    except PlannerError as exc:
+        sys.exit(str(exc))
+    text = report_json(report)
+    if args.out == "-":
+        sys.stdout.write(text)
+    else:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        for plan in report["plans"]:
+            line = (f"{plan['mode']:>7}  total {plan['total_cost'] * 1e3:.4f} ms"
+                    f"  transitions {plan['transitions']}")
+            if "vs_greedy" in plan:
+                line += f"  vs greedy {plan['vs_greedy']['speedup']:.4f}x"
+            print(line)
+        print(f"wrote {args.out}")
+
+
 def cmd_report(args: argparse.Namespace) -> None:
     """Regenerate every figure/table into one markdown report."""
     from .analysis.report import generate_report
@@ -300,7 +360,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument("--cache-dir",
                          help="shared sweep-cache directory for the parallel "
                               "runs (default: a private temporary directory)")
-    p_bench.add_argument("-o", "--out", default="BENCH_PR7.json",
+    p_bench.add_argument("-o", "--out", default="BENCH_PR9.json",
                          help="output JSON path (schema 2)")
     p_bench.add_argument("--list", action="store_true",
                          help="list registered benchmarks and exit")
@@ -324,6 +384,41 @@ def build_parser() -> argparse.ArgumentParser:
     p_flt.add_argument("--list", action="store_true",
                        help="list scenarios and exit")
     p_flt.set_defaults(func=cmd_faults)
+
+    p_plan = sub.add_parser(
+        "plan", help="solve a global parallelization plan, write JSON"
+    )
+    p_plan.add_argument("--network", default="vgg16",
+                        help="workload name (see --list)")
+    p_plan.add_argument("--config", default="w_mp++",
+                        help="Table IV system configuration")
+    p_plan.add_argument("--machine-workers", type=int, default=256,
+                        help="simulated worker count")
+    p_plan.add_argument("--batch", type=int, default=256)
+    p_plan.add_argument("--transition", default="zero",
+                        help="transition preset (see --list)")
+    p_plan.add_argument("--objective", choices=["time", "energy"],
+                        default="time")
+    p_plan.add_argument("--modes", default="dp",
+                        help="comma-separated solver modes (dp,oracle,beam)")
+    p_plan.add_argument("--beam-width", type=int, default=4)
+    p_plan.add_argument("--search-transforms", action="store_true",
+                        help="widen the space with non-default Cook-Toom "
+                             "transforms")
+    p_plan.add_argument("--batch-splits", default="1", metavar="S,...",
+                        help="micro-batch split factors to evaluate")
+    p_plan.add_argument("--capacity-frac", type=float, default=1.0,
+                        help="fraction of the DRAM stack a strategy may use")
+    p_plan.add_argument("--validate", action="store_true",
+                        help="replay costed transitions on the event simulator")
+    p_plan.add_argument("--workers", type=int, default=1,
+                        help="sweep worker processes for the strategy-space "
+                             "pre-warm (output is byte-identical at any count)")
+    p_plan.add_argument("-o", "--out", default="PLAN.json",
+                        help="output JSON path ('-' for stdout)")
+    p_plan.add_argument("--list", action="store_true",
+                        help="list networks/configs/presets and exit")
+    p_plan.set_defaults(func=cmd_plan)
 
     p_rep = sub.add_parser("report", help="write the full markdown report")
     p_rep.add_argument("-o", "--output", default="report.md")

@@ -16,6 +16,7 @@ from typing import Dict, Optional, Sequence
 
 from ..params import DEFAULT_PARAMS, HardwareParams
 from ..perf import memoize_sweep, phase
+from ..winograd.cook_toom import WinogradTransform
 from ..workloads.layers import ConvLayerSpec
 from .comm_model import DEFAULT_FACTORS, TrafficFactors, transform_for
 from .config import GridConfig, SystemConfig, clustering_candidates, default_grid
@@ -31,7 +32,7 @@ class ClusteringChoice:
     evaluations: Dict[GridConfig, LayerPerf]
     #: Transform chosen by the transform-search extension (None = the
     #: paper's default rule).
-    chosen_transform: Optional[object] = None
+    chosen_transform: Optional[WinogradTransform] = None
 
     @property
     def perf(self) -> LayerPerf:

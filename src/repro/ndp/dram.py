@@ -77,3 +77,26 @@ class DramModel:
 
     def reset(self) -> None:
         self._vault_busy = [0.0] * self.vaults
+
+    @property
+    def capacity_bytes(self) -> float:
+        """Usable stack capacity (Table III: one HMC-class module per worker)."""
+        return self.params.dram_capacity_bytes
+
+
+def stack_fits(
+    nbytes: float,
+    params: HardwareParams = DEFAULT_PARAMS,
+    fraction: float = 1.0,
+) -> bool:
+    """Whether a per-worker working set of ``nbytes`` fits in one stack.
+
+    ``fraction`` reserves headroom: the planner's capacity filter passes
+    e.g. ``0.5`` to keep half the stack free for double-buffered DMA
+    staging and the host-visible scratch region.
+    """
+    if nbytes < 0:
+        raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+    if not 0 < fraction <= 1:
+        raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+    return nbytes <= params.dram_capacity_bytes * fraction

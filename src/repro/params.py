@@ -38,6 +38,10 @@ class HardwareParams:
 
     # --- 3D-stacked memory (Table III) --------------------------------------
     dram_bytes_per_s: float = 320e9
+    #: Stack capacity (HMC-class 8 GB module); each worker owns one
+    #: stack, so this bounds the per-worker resident working set the
+    #: planner's capacity filter checks (``repro.ndp.dram.stack_fits``).
+    dram_capacity_bytes: float = 8 * 2**30
 
     # --- compute (Section VI-B) ---------------------------------------------
     systolic_rows: int = 64

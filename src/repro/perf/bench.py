@@ -159,6 +159,14 @@ def _bench_faults_battery() -> Optional[List]:
     return fault_degradation_rows()
 
 
+def _bench_planner_battery() -> Optional[List]:
+    """Planner battery: greedy vs DP chain totals for both paper
+    workloads across every transition preset."""
+    from ..analysis import planner_rows
+
+    return planner_rows()
+
+
 BENCHMARKS: Dict[str, Callable[[], Optional[List]]] = {
     "fig7": _bench_fig7,
     "fig15": _bench_fig15,
@@ -169,6 +177,7 @@ BENCHMARKS: Dict[str, Callable[[], Optional[List]]] = {
     "netsim_all_to_all": _bench_netsim_all_to_all,
     "faults_degraded_allreduce": _bench_faults_degraded_allreduce,
     "faults_battery": _bench_faults_battery,
+    "planner_battery": _bench_planner_battery,
 }
 
 
@@ -266,11 +275,54 @@ def _points_faults_battery() -> List:
     return points
 
 
+def _points_planner_battery() -> List:
+    from ..analysis.planner import _BATTERY_NETWORKS, _BATTERY_PRESETS
+    from ..core import w_mp_plus_plus
+    from ..core.comm_model import DEFAULT_FACTORS
+    from ..core.dynamic_clustering import _choose_clustering_cached
+    from ..params import DEFAULT_PARAMS
+    from ..planner import preset
+    from ..planner.solver import _plan_network_cached
+    from ..planner.strategy import DEFAULT_KNOBS, _layer_candidates_cached
+    from .parallel import sweep_point
+
+    config = w_mp_plus_plus()
+    points = []
+    for _name, build in _BATTERY_NETWORKS:
+        net = build()
+        layers = tuple(net.conv_layers)
+        for layer in layers:
+            points.append(
+                sweep_point(
+                    _layer_candidates_cached,
+                    layer, 256, config, 256, DEFAULT_KNOBS,
+                    DEFAULT_PARAMS, DEFAULT_FACTORS,
+                )
+            )
+            points.append(
+                sweep_point(
+                    _choose_clustering_cached,
+                    layer, 256, config, 256, DEFAULT_PARAMS, DEFAULT_FACTORS,
+                )
+            )
+        for preset_name in _BATTERY_PRESETS:
+            points.append(
+                sweep_point(
+                    _plan_network_cached,
+                    net.name, layers, 256, config, 256, DEFAULT_KNOBS,
+                    preset(preset_name), "time", "dp", 4,
+                    DEFAULT_PARAMS, DEFAULT_FACTORS,
+                )
+            )
+    return points
+
+
 POINT_ENUMERATORS: Dict[str, Callable[[], List]] = {
     "fig15": _points_fig15,
     "fig16": _points_fig16,
     "fig17": _points_fig17,
     "faults_battery": _points_faults_battery,
+    "planner_battery": _points_planner_battery,
 }
 
 

@@ -55,6 +55,8 @@ SWEEP_MODULES: Tuple[str, ...] = (
     "repro.core.perf_model",
     "repro.core.dynamic_clustering",
     "repro.faults.scenarios",
+    "repro.planner.strategy",
+    "repro.planner.solver",
 )
 
 

@@ -6,7 +6,8 @@ import pytest
 from repro.cli import FIGURES, main
 
 FAST = ["fig1", "fig6", "fig7", "table1", "table2"]
-SLOW = ["fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "faults"]
+SLOW = ["fig12", "fig14", "fig15", "fig16", "fig17", "fig18", "faults",
+        "planner", "planner_pareto"]
 
 
 class TestFigureRegistry:
