@@ -49,6 +49,11 @@ class FaultInjector(FaultHooks):
         self.packets_failed = 0
         self._windows: Dict[Tuple[int, int], List[_Window]] = {}
         self._has_losses = bool(plan.losses)
+        # Engine capability flags (see FaultHooks): a plan with no loss
+        # rules can never drop, and one with no fault windows can never
+        # block a link — the engine then skips those per-packet hooks.
+        self.may_drop = self._has_losses
+        self.may_block = bool(plan.link_faults or plan.worker_faults)
 
     # ---- compilation ------------------------------------------------------
     def bind(self, topology: Topology) -> None:
@@ -90,6 +95,44 @@ class FaultInjector(FaultHooks):
                     return math.inf
                 time = repair_s
         return time
+
+    def link_state(self, link: Link, t0: float, t1: float) -> str:
+        """Classify ``link`` over the horizon ``[t0, t1]`` for the fast
+        paths (:mod:`repro.netsim.fastpath`).
+
+        ``"dead"``: down for the whole horizon (failed at or before
+        ``t0``, never repaired) — traffic strands deterministically, so
+        loss rules are irrelevant.  ``"dirty"``: any finite fault window
+        or matching loss rule touches the horizon (boundaries follow the
+        engine's checks: a failure at exactly ``t1`` is dirty because
+        availability uses ``fail_s <= time``; a repair at exactly ``t0``
+        is not).  ``"clean"``: the engine's fault path cannot affect any
+        transmission in the horizon.
+        """
+        spans = self._windows.get((link.src, link.dst))
+        if spans:
+            for fail_s, repair_s in spans:
+                if fail_s <= t0 and math.isinf(repair_s):
+                    return "dead"
+            for fail_s, repair_s in spans:
+                if fail_s <= t1 and repair_s > t0:
+                    return "dirty"
+        if self._has_losses:
+            for loss in self.plan.losses:
+                if loss.loss_prob <= 0.0:
+                    continue
+                if not (loss.start_s <= t1 and loss.end_s > t0):
+                    continue
+                if loss.link_name_prefix is not None and not link.name.startswith(
+                    loss.link_name_prefix
+                ):
+                    continue
+                if loss.src is not None and loss.src != link.src:
+                    continue
+                if loss.dst is not None and loss.dst != link.dst:
+                    continue
+                return "dirty"
+        return "clean"
 
     def drop_packet(self, link: Link, packet, time: float) -> bool:
         if not self._has_losses:

@@ -15,6 +15,7 @@ synchronous SGD.
 from __future__ import annotations
 
 import json
+from dataclasses import replace
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..core.config import PAPER_GRIDS, MachineConfig, w_mp_plus_plus
@@ -148,6 +149,37 @@ def run_scenario_on_grid(
 
 
 @memoize_sweep
+def _baseline_collective_cached(
+    num_groups: int, message_bytes: int, params: HardwareParams
+) -> "CollectiveResult":
+    """Fault-free reference collective for one paper grid.
+
+    Split out of the row kernel and memoized separately because every
+    scenario row on a grid pays for the *same* baseline run — on the
+    ``(1, 256)`` grid that run is a multi-second contended packet
+    simulation, and the battery used to repeat it six times per cold
+    round."""
+    machine = reconfigure(16, 16, num_groups, params)
+    return baseline_ring_allreduce(machine, 0, message_bytes, params)
+
+
+@memoize_sweep
+def _resilient_collective_cached(
+    num_groups: int,
+    message_bytes: int,
+    network_plan: FaultPlan,
+    params: HardwareParams,
+) -> "ResilientAllreduceResult":
+    """Resilient collective for one grid and one *network* plan.
+
+    Keyed on the plan with stragglers stripped: stragglers only slow
+    compute (the trainer's concern), never the network, so the baseline
+    and both straggler scenarios share one cached run per grid."""
+    machine = reconfigure(16, 16, num_groups, params)
+    return resilient_ring_allreduce(machine, 0, message_bytes, network_plan, params)
+
+
+@memoize_sweep
 def _scenario_grid_row_cached(
     name: str,
     num_groups: int,
@@ -159,17 +191,20 @@ def _scenario_grid_row_cached(
     """The scenario-battery kernel: statically pure (EFF001), so the
     parallel sweep executor may dispatch it to worker processes.
 
-    Builds the machine twice — once for the fault-free baseline and once
-    for the fault run — because recovery may splice the topology.
+    The machine is built per nested kernel — once for the fault-free
+    baseline and once for the fault run — because recovery may splice
+    the topology.  The expensive network runs are shared through the
+    nested memoized kernels above; the results are cached and must be
+    treated as read-only (this function only reads scalar fields).
     """
     build = _scenario_builder(name)
 
-    baseline_machine = reconfigure(16, 16, num_groups, params)
-    baseline = baseline_ring_allreduce(baseline_machine, 0, message_bytes, params)
+    baseline = _baseline_collective_cached(num_groups, message_bytes, params)
 
-    machine = reconfigure(16, 16, num_groups, params)
-    plan = build(machine, seed)
-    result = resilient_ring_allreduce(machine, 0, message_bytes, plan, params)
+    plan = build(reconfigure(16, 16, num_groups, params), seed)
+    result = _resilient_collective_cached(
+        num_groups, message_bytes, replace(plan, stragglers=()), params
+    )
 
     return {
         "grid": _grid_label(num_groups, num_clusters),

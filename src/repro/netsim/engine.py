@@ -35,12 +35,14 @@ from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from ..params import DEFAULT_PARAMS, HardwareParams
 from ..perf import counter_add, phase
+from .fastpath import fastpath_enabled, packet_split, store_and_forward_times
+from .scheduler import make_scheduler
 from .topology import Link, Topology
 
 Callback = Callable[["Message", float], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """An application-level transfer of ``size_bytes`` from src to dst."""
 
@@ -69,10 +71,10 @@ class _Packet:
     attempt: int = 0
 
 
-# Heap entries are plain ``(time, seq, action)`` tuples: the heap then
-# orders with C-level tuple comparison (``seq`` breaks time ties, so the
-# ``action`` callables are never compared), which profiles measurably
-# faster than a dataclass ``__lt__`` at netsim event volumes.
+# Queue entries are plain ``(time, seq, action)`` tuples: the scheduler
+# then orders with C-level tuple comparison (``seq`` breaks time ties,
+# so the ``action`` callables are never compared), which profiles
+# measurably faster than a dataclass ``__lt__`` at netsim event volumes.
 _Event = Tuple[float, int, Callable[[], None]]
 
 
@@ -98,10 +100,11 @@ class _LinkServer:
         if not self.queues:
             self.busy = False
             return
-        faults = self.sim.faults
-        if faults is not None:
-            available_at = faults.link_available_at(self.link, self.sim.now)
-            if available_at > self.sim.now:
+        sim = self.sim
+        faults = sim.faults
+        if faults is not None and faults.may_block:
+            available_at = faults.link_available_at(self.link, sim.now)
+            if available_at > sim.now:
                 if available_at == float("inf"):
                     # Permanently dead link: queued packets are stranded.
                     # The event queue drains around them, so ``run()``
@@ -110,9 +113,11 @@ class _LinkServer:
                     self.busy = False
                     return
                 self.busy = True
-                self.sim.schedule(available_at, self._serve_next)
+                sim.schedule(available_at, self._serve_next)
                 return
-        flow_id, queue = next(iter(self.queues.items()))
+        # Round-robin: pop the front flow, rotate it to the back (or
+        # drop it) after serving.
+        flow_id, queue = self.queues.popitem(last=False)
         # Uncontended fast path: with a single flow queued there is no
         # arbitration to perform, so a run of back-to-back packets is
         # serialised under one completion event instead of one per
@@ -122,39 +127,65 @@ class _LinkServer:
         # traffic shrinks.  Under contention the batch is one packet and
         # the round-robin interleave is unchanged.
         batch = [queue.popleft()]
-        if len(self.queues) == 1:
-            limit = self.sim.max_batch_packets - 1
+        if not self.queues:
+            limit = sim.max_batch_packets - 1
             while queue and limit > 0:
                 batch.append(queue.popleft())
                 limit -= 1
-        # Round-robin: rotate the served flow to the back (or drop it).
-        del self.queues[flow_id]
         if queue:
             self.queues[flow_id] = queue
         self.busy = True
-        rate = self.link.bytes_per_s
-        latency = self.link.latency_s
-        done_time = self.sim.now
-        if faults is None:
-            for packet in batch:
-                done_time += packet.wire_bytes / rate
-                self.link.bytes_carried += packet.wire_bytes
-                self.sim.schedule(
-                    done_time + latency, partial(self.sim._packet_arrived, packet)
-                )
+        link = self.link
+        arrived = sim._packet_arrived
+        rate = link.bytes_per_s
+        latency = link.latency_s
+        done_time = sim.now
+        heap = sim._heap
+        if heap is not None:
+            # Inline the ``schedule`` heap push: ``done_time`` only ever
+            # advances from ``sim.now``, so the cannot-schedule-in-the-
+            # past check is vacuous here, and drawing seq numbers in the
+            # same order keeps the event ordering bit-identical.
+            push = heapq.heappush
+            seq = sim._seq
+            if faults is None or not faults.may_drop:
+                for packet in batch:
+                    wire = packet.wire_bytes
+                    done_time += wire / rate
+                    link.bytes_carried += wire
+                    push(heap, (done_time + latency, next(seq), partial(arrived, packet)))
+            else:
+                for packet in batch:
+                    wire = packet.wire_bytes
+                    done_time += wire / rate
+                    link.bytes_carried += wire
+                    if faults.drop_packet(link, packet, done_time):
+                        self._handle_drop(packet, done_time, faults)
+                    else:
+                        push(
+                            heap,
+                            (done_time + latency, next(seq), partial(arrived, packet)),
+                        )
+            push(heap, (done_time, next(seq), self._serve_next))
         else:
-            for packet in batch:
-                done_time += packet.wire_bytes / rate
-                self.link.bytes_carried += packet.wire_bytes
-                if faults.drop_packet(self.link, packet, done_time):
-                    self._handle_drop(packet, done_time, faults)
-                else:
-                    self.sim.schedule(
-                        done_time + latency,
-                        partial(self.sim._packet_arrived, packet),
-                    )
-        counter_add("netsim.packets_served", len(batch))
-        self.sim.schedule(done_time, self._serve_next)
+            schedule = sim.schedule
+            if faults is None or not faults.may_drop:
+                for packet in batch:
+                    wire = packet.wire_bytes
+                    done_time += wire / rate
+                    link.bytes_carried += wire
+                    schedule(done_time + latency, partial(arrived, packet))
+            else:
+                for packet in batch:
+                    wire = packet.wire_bytes
+                    done_time += wire / rate
+                    link.bytes_carried += wire
+                    if faults.drop_packet(link, packet, done_time):
+                        self._handle_drop(packet, done_time, faults)
+                    else:
+                        schedule(done_time + latency, partial(arrived, packet))
+            schedule(done_time, self._serve_next)
+        sim._packets_served_accum += len(batch)
 
     def _handle_drop(self, packet: _Packet, done_time: float, faults) -> None:
         """Sender-side recovery for a packet lost on this hop: retransmit
@@ -187,6 +218,13 @@ class FaultHooks:
     #: Counters the engine bumps (reported by the scenario runner).
     retransmits: int = 0
     packets_failed: int = 0
+    #: Static capability flags: whether ``drop_packet`` can ever answer
+    #: True, and whether ``link_available_at`` can ever exceed ``now``.
+    #: The engine skips the corresponding per-packet/per-serve hook call
+    #: when a flag is False; the conservative defaults keep both calls
+    #: for injectors that do not opt in.
+    may_drop: bool = True
+    may_block: bool = True
 
     def bind(self, topology: Topology) -> None:
         """Compile the plan against a concrete topology (worker faults
@@ -202,6 +240,18 @@ class FaultHooks:
         """Whether this transmission of ``packet`` is lost on ``link``."""
         raise NotImplementedError
 
+    def link_state(self, link: Link, t0: float, t1: float) -> str:
+        """Classify ``link`` over the horizon ``[t0, t1]`` for the fast
+        paths: ``"clean"`` (behaves exactly as with no injector —
+        always available, never drops), ``"dead"`` (unavailable for the
+        whole horizon, i.e. a permanent failure no later than ``t0``)
+        or ``"dirty"`` (anything time-dependent).  The conservative
+        default keeps fast paths off for injectors that do not opt in —
+        an unknown hook can observe per-packet traffic the coalesced
+        schedule never generates.
+        """
+        return "dirty"
+
 
 class NetworkSimulator:
     """Event-driven simulator over a :class:`Topology`."""
@@ -213,6 +263,8 @@ class NetworkSimulator:
         packet_bytes: Optional[int] = None,
         max_batch_packets: int = 16,
         faults: Optional["FaultHooks"] = None,
+        fastpath: Optional[bool] = None,
+        scheduler: Optional[str] = None,
     ) -> None:
         if max_batch_packets < 1:
             raise ValueError(f"max_batch_packets must be >= 1, got {max_batch_packets}")
@@ -225,10 +277,21 @@ class NetworkSimulator:
         #: Optional fault injector (duck-typed: see :class:`FaultHooks`).
         #: ``None`` keeps every fault branch off the hot path.
         self.faults = faults
+        #: Whether the bit-identical fast paths (flow coalescing and the
+        #: collective shortcuts of :mod:`repro.netsim.fastpath`) may
+        #: fire; ``None`` reads ``REPRO_NETSIM_REFERENCE``.
+        self.fastpath = fastpath_enabled() if fastpath is None else bool(fastpath)
         if faults is not None:
             faults.bind(topology)
         self.now = 0.0
-        self._events: List[_Event] = []
+        self._events = make_scheduler(scheduler)
+        #: Raw event list of the heap backend (``None`` for any other
+        #: scheduler): lets ``schedule``/``run`` drive C-level heapq
+        #: directly instead of paying a Python method hop per event.
+        self._heap = getattr(self._events, "_heap", None)
+        #: Wire-size splits by message size (splits repeat massively in
+        #: collectives; the lists are shared and read-only).
+        self._split_cache: Dict[int, List[int]] = {}
         self._seq = itertools.count()
         self._flow_ids = itertools.count()
         self._servers: Dict[Tuple[int, int], _LinkServer] = {}
@@ -237,28 +300,85 @@ class NetworkSimulator:
         #: Engine events popped so far — the quantity packet batching
         #: exists to reduce (see ``_LinkServer._serve_next``).
         self.events_processed = 0
+        #: Messages completed via flow-level coalescing (observability).
+        self.flows_coalesced = 0
+        #: Deferred ``netsim.packets_served`` counter delta (published
+        #: once per ``run`` by ``_flush_counters``).
+        self._packets_served_accum = 0
+        #: The ``until`` horizon of the active ``run`` call; coalescing
+        #: declines any flow whose completion would overrun it, so the
+        #: partial-delivery semantics of a paused run are preserved.
+        self._run_until: Optional[float] = None
 
     # ---- event machinery ---------------------------------------------------
     def schedule(self, time: float, action: Callable[[], None]) -> None:
         if time < self.now - 1e-15:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
-        heapq.heappush(self._events, (time, next(self._seq), action))
+        if self._heap is not None:
+            heapq.heappush(self._heap, (time, next(self._seq), action))
+        else:
+            self._events.push(time, next(self._seq), action)
+
+    def is_quiescent(self) -> bool:
+        """No pending events and every link server idle and empty — the
+        precondition under which a coalesced flow cannot contend with
+        (or be observed by) anything else in flight."""
+        if self._events:
+            return False
+        for server in self._servers.values():
+            if server.busy or server.queues:
+                return False
+        return True
 
     def run(self, until: Optional[float] = None) -> float:
         """Drain the event queue; returns the final simulated time."""
         with phase("netsim"):
-            events = self._events
-            while events:
-                event = heapq.heappop(events)
-                time = event[0]
-                if until is not None and time > until:
-                    heapq.heappush(events, event)
-                    self.now = until
-                    return self.now
-                self.now = time
-                self.events_processed += 1
-                event[2]()
+            self._run_until = until
+            processed = 0
+            try:
+                events = self._events
+                # The heap backend exposes its raw list so this loop can
+                # drive C-level heappop directly — the scheduler method
+                # indirection costs real time at netsim event volumes.
+                # Event order (and so every result) is identical either
+                # way; that is the scheduler equivalence contract.
+                heap = self._heap
+                if heap is not None:
+                    pop = heapq.heappop
+                    while heap:
+                        event = pop(heap)
+                        time = event[0]
+                        if until is not None and time > until:
+                            heapq.heappush(heap, event)
+                            self.now = until
+                            return self.now
+                        self.now = time
+                        processed += 1
+                        event[2]()
+                else:
+                    while events:
+                        event = events.pop()
+                        time = event[0]
+                        if until is not None and time > until:
+                            events.push(*event)
+                            self.now = until
+                            return self.now
+                        self.now = time
+                        processed += 1
+                        event[2]()
+            finally:
+                self.events_processed += processed
+                self._flush_counters()
+                self._run_until = None
         return self.now
+
+    def _flush_counters(self) -> None:
+        """Publish per-run profiler counter accumulations (kept in plain
+        attributes during the event loop; ``counter_add`` per serve is
+        measurable at battery volumes)."""
+        if self._packets_served_accum:
+            counter_add("netsim.packets_served", self._packets_served_accum)
+            self._packets_served_accum = 0
 
     def _server(self, link: Link) -> _LinkServer:
         key = (link.src, link.dst)
@@ -281,19 +401,52 @@ class NetworkSimulator:
             return
         route = self.topology.route(message.src, message.dst)
         flow_id = next(self._flow_ids)
-        payload = self.packet_bytes
-        header = self.params.packet_header_bytes
         # Pre-split into wire sizes: full packets plus an optional tail.
-        full_packets, tail = divmod(message.size_bytes, payload)
-        sizes = [payload + header] * full_packets
-        if tail:
-            sizes.append(tail + header)
+        sizes = self._split_cache.get(message.size_bytes)
+        if sizes is None:
+            sizes = packet_split(
+                message.size_bytes, self.packet_bytes, self.params.packet_header_bytes
+            )
+            self._split_cache[message.size_bytes] = sizes
         message.pending_packets = len(sizes)
+        servers = self._servers
+        fastpath = self.fastpath
+        heap = self._heap
 
         def inject() -> None:
-            server = self._server(route[0])
+            # Guard hoisted out of ``_try_coalesce``: under contention
+            # (pending events) the quiescence precondition fails on the
+            # first check, so skip the call entirely.
+            if (
+                fastpath
+                and not (heap if heap is not None else self._events)
+                and self._try_coalesce(message, route, sizes)
+            ):
+                return
+            link = route[0]
+            server = servers.get((link.src, link.dst))
+            if server is None:
+                server = self._server(link)
+            if len(sizes) == 1:
+                # Fused single-packet enqueue: the flow id is fresh, so
+                # no queue can exist for it yet.
+                server.queues[flow_id] = deque(
+                    (
+                        _Packet(
+                            wire_bytes=sizes[0],
+                            flow_id=flow_id,
+                            route=route,
+                            hop_index=0,
+                            message=message,
+                        ),
+                    )
+                )
+                if not server.busy:
+                    server._serve_next()
+                return
+            enqueue = server.enqueue
             for seq, wire_bytes in enumerate(sizes):
-                server.enqueue(
+                enqueue(
                     _Packet(
                         wire_bytes=wire_bytes,
                         flow_id=flow_id,
@@ -305,6 +458,54 @@ class NetworkSimulator:
                 )
 
         self.schedule(start, inject)
+
+    def _try_coalesce(self, message: Message, route: List[Link], sizes: List[int]) -> bool:
+        """Flow-level coalescing: collapse an entire message's
+        store-and-forward recurrence into one bulk completion event.
+
+        Fires only when this inject is the *sole* activity in the
+        simulator (quiescent queue and servers), every route link is
+        fault-clean over the flow's whole lifetime, and an active
+        ``run(until=...)`` horizon would not cut the flow off — under
+        those conditions no arbitration, drop, or pause can observe the
+        per-packet schedule, and the bulk event's timestamp is the
+        bit-exact fold the per-packet loop computes (see
+        :mod:`repro.netsim.fastpath`).
+        """
+        if not self.fastpath:
+            return False
+        if self._heap if self._heap is not None else self._events:
+            return False
+        for server in self._servers.values():
+            if server.busy or server.queues:
+                return False
+        start = self.now
+        deliveries = store_and_forward_times(
+            start, sizes, [(link.bytes_per_s, link.latency_s) for link in route]
+        )
+        finish = deliveries[-1]
+        if self._run_until is not None and finish > self._run_until:
+            return False
+        faults = self.faults
+        if faults is not None:
+            for link in route:
+                if faults.link_state(link, start, finish) != "clean":
+                    return False
+        total_wire = sum(sizes)
+        hops = len(route)
+        packets = len(sizes)
+
+        def complete_flow() -> None:
+            for link in route:
+                link.bytes_carried += total_wire
+            counter_add("netsim.packets_served", packets * hops)
+            counter_add("netsim.flows_coalesced", 1)
+            self.flows_coalesced += 1
+            message.pending_packets = 0
+            self._complete(message)
+
+        self.schedule(finish, complete_flow)
+        return True
 
     def _packet_arrived(self, packet: _Packet) -> None:
         packet.hop_index += 1
@@ -338,3 +539,6 @@ class NetworkSimulator:
         self.messages_delivered = 0
         self.bytes_delivered = 0
         self.events_processed = 0
+        self.flows_coalesced = 0
+        self._packets_served_accum = 0
+        self._run_until = None

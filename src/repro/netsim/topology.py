@@ -53,7 +53,24 @@ class Topology:
     links: List[Link] = field(default_factory=list)
     routing_fn: Optional[Callable[[int, int], List[int]]] = None
     _adjacency: Dict[int, Dict[int, Link]] = field(default_factory=dict)
-    _next_hop: Optional[List[List[int]]] = None
+    #: Lazily built next-hop columns, one per queried destination (the
+    #: all-pairs table is never needed: most routes are answered by the
+    #: direct-link fast path, and a 256-node battery only ever asks for
+    #: a handful of multi-hop destinations).
+    _next_hop_cols: Dict[int, List[int]] = field(default_factory=dict)
+    #: Memoized ``route()`` results (shared lists — treat as read-only).
+    #: Invalidated on every ``add_link`` and on ``routing_fn``
+    #: reassignment (see ``__setattr__``).
+    _route_cache: Dict[Tuple[int, int], List[Link]] = field(default_factory=dict)
+
+    def __setattr__(self, name: str, value) -> None:
+        # Swapping the routing override (the resilience layer wraps it
+        # mid-recovery) invalidates every memoized route.
+        if name == "routing_fn":
+            cache = self.__dict__.get("_route_cache")
+            if cache:
+                cache.clear()
+        object.__setattr__(self, name, value)
 
     def add_link(
         self,
@@ -75,7 +92,8 @@ class Topology:
         link = Link(src, dst, bytes_per_s, latency_s, name)
         self.links.append(link)
         self._adjacency[src][dst] = link
-        self._next_hop = None
+        self._next_hop_cols.clear()
+        self._route_cache.clear()
         return link
 
     def add_bidirectional(
@@ -99,39 +117,51 @@ class Topology:
             raise KeyError(f"no link {src} -> {dst}") from None
 
     # ---- routing ---------------------------------------------------------
-    def _build_routes(self) -> None:
-        """All-pairs next-hop table via BFS weighted by hop count, with
-        latency as tie-break (minimal routing)."""
+    def _next_hop_col(self, dst: int) -> List[int]:
+        """Next-hop column toward ``dst`` via reverse Dijkstra weighted
+        by hop count, with latency as tie-break (minimal routing).  One
+        column per destination, built on first demand."""
         import heapq
 
+        col = self._next_hop_cols.get(dst)
+        if col is not None:
+            return col
         inf = math.inf
-        table: List[List[int]] = [[-1] * self.num_nodes for _ in range(self.num_nodes)]
-        for dst in range(self.num_nodes):
-            dist = [inf] * self.num_nodes
-            dist[dst] = 0.0
-            first_hop: List[int] = [-1] * self.num_nodes
-            heap: List[Tuple[float, int]] = [(0.0, dst)]
-            # Reverse Dijkstra over incoming links.
-            incoming: Dict[int, List[Link]] = {}
-            for link in self.links:
-                incoming.setdefault(link.dst, []).append(link)
-            while heap:
-                d, node = heapq.heappop(heap)
-                if d > dist[node]:
-                    continue
-                for link in incoming.get(node, []):
-                    # hop-count dominant cost, small latency tie-break
-                    cost = d + 1.0 + link.latency_s * 1e-3
-                    if cost < dist[link.src]:
-                        dist[link.src] = cost
-                        first_hop[link.src] = node
-                        heapq.heappush(heap, (cost, link.src))
-            for src in range(self.num_nodes):
-                table[src][dst] = first_hop[src]
-        self._next_hop = table
+        # Reverse Dijkstra over incoming links.
+        incoming: Dict[int, List[Link]] = {}
+        for link in self.links:
+            incoming.setdefault(link.dst, []).append(link)
+        dist = [inf] * self.num_nodes
+        dist[dst] = 0.0
+        first_hop: List[int] = [-1] * self.num_nodes
+        heap: List[Tuple[float, int]] = [(0.0, dst)]
+        while heap:
+            d, node = heapq.heappop(heap)
+            if d > dist[node]:
+                continue
+            for link in incoming.get(node, []):
+                # hop-count dominant cost, small latency tie-break
+                cost = d + 1.0 + link.latency_s * 1e-3
+                if cost < dist[link.src]:
+                    dist[link.src] = cost
+                    first_hop[link.src] = node
+                    heapq.heappush(heap, (cost, link.src))
+        self._next_hop_cols[dst] = first_hop
+        return first_hop
 
     def route(self, src: int, dst: int) -> List[Link]:
-        """Minimal route as a list of links."""
+        """Minimal route as a list of links.
+
+        The returned list is memoized and shared between callers — the
+        engine and the fast paths treat routes as read-only."""
+        cached = self._route_cache.get((src, dst))
+        if cached is not None:
+            return cached
+        path = self._route_uncached(src, dst)
+        self._route_cache[(src, dst)] = path
+        return path
+
+    def _route_uncached(self, src: int, dst: int) -> List[Link]:
         if self.routing_fn is not None and src != dst:
             nodes = self.routing_fn(src, dst)
             if nodes is not None:
@@ -139,14 +169,19 @@ class Topology:
                 for a, b in zip(nodes, nodes[1:]):
                     path.append(self.link(a, b))
                 return path
-        if self._next_hop is None:
-            self._build_routes()
-        assert self._next_hop is not None
+        # Direct link: under the hop-dominant cost (1 per hop, latency a
+        # ~1e-10 tie-break) a one-hop path always beats any multi-hop
+        # alternative, so this is exactly what the Dijkstra column would
+        # answer — without ever building it.
+        direct = self._adjacency.get(src, {}).get(dst)
+        if direct is not None and src != dst:
+            return [direct]
+        col = self._next_hop_col(dst)
         path: List[Link] = []
         node = src
         visited = 0
         while node != dst:
-            nxt = self._next_hop[node][dst]
+            nxt = col[node]
             if nxt < 0:
                 raise ValueError(f"no route from {src} to {dst}")
             path.append(self.link(node, nxt))

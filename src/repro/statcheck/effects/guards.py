@@ -110,10 +110,39 @@ class _FunctionGuards:
         if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.And):
             # `if faults is not None and ...:` guards the body too.
             return self._guard_test(test.values[0])
+        if isinstance(test, ast.BoolOp) and isinstance(test.op, ast.Or):
+            # `if faults is None or ...:` — the *false* branch implies
+            # the value is non-None (short-circuit: the first operand
+            # was false there).
+            first = self._guard_test(test.values[0])
+            if first is not None and not first[1]:
+                return first
+            return None
         key = self._key(test)
         if key is not None:
             return key, True  # truthiness: hooks objects are truthy
         return None
+
+    def _scan_test(self, test: ast.expr, guarded: Set[str]) -> None:
+        """Scan a condition with short-circuit semantics: in
+        ``K is not None and K.attr`` (or ``K is None or K.attr``) the
+        later operands only evaluate with ``K`` proven non-None."""
+        if isinstance(test, ast.BoolOp):
+            narrowed = set(guarded)
+            for value in test.values:
+                self._scan_test(value, narrowed)
+                guard = self._guard_test(value)
+                if guard is not None:
+                    key, positive = guard
+                    # ``and`` keeps evaluating while operands are true;
+                    # ``or`` while they are false.
+                    if positive == isinstance(test.op, ast.And):
+                        narrowed.add(key)
+            return
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self._scan_test(test.operand, guarded)
+            return
+        self._scan_expr(test, guarded)
 
     # -- expression scanning ------------------------------------------------
     def _scan_expr(self, node: ast.expr, guarded: Set[str]) -> None:
@@ -165,7 +194,7 @@ class _FunctionGuards:
                     guarded.discard(name)
                 continue
             if isinstance(stmt, ast.If):
-                self._scan_expr(stmt.test, guarded)
+                self._scan_test(stmt.test, guarded)
                 guard = self._guard_test(stmt.test)
                 if guard is not None:
                     key, positive = guard
@@ -189,7 +218,7 @@ class _FunctionGuards:
                 continue
             if isinstance(stmt, ast.While):
                 guard = self._guard_test(stmt.test)
-                self._scan_expr(stmt.test, guarded)
+                self._scan_test(stmt.test, guarded)
                 if guard is not None and guard[1]:
                     self.visit_suite(stmt.body, guarded | {guard[0]})
                 else:

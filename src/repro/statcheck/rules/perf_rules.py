@@ -1,15 +1,29 @@
-"""Performance lint (``PERF001``).
+"""Performance lint (``PERF001``, ``PERF002``).
 
 The Winograd kernels and the performance model sit on every sweep's hot
 path, and PR 2 vectorized their per-tile-element work: the ``T x T``
 Winograd-domain GEMMs run as one batched einsum, not ``T**2`` separate
-Python iterations.  This rule keeps that invariant — a Python-level
+Python iterations.  ``PERF001`` keeps that invariant — a Python-level
 ``for`` loop over ``range(T*T)`` (or any ``x**2`` / ``x*x`` element
 count) in ``repro.winograd`` or ``repro.core`` reintroduces exactly the
 interpreter overhead the vectorization removed.
 
+``PERF002`` polices the analogous invariant one layer down, in the
+netsim event engine: scheduling one event per item from a Python loop
+is the per-packet slow path the batching fast paths exist to avoid
+(``_LinkServer._serve_next`` serialises a whole uncontended batch under
+one completion event; the flow coalescer and collective shortcuts
+schedule one bulk event per message or collective).  A ``for``/``while``
+loop in ``repro.netsim`` whose body calls ``*.schedule(...)`` /
+``*._schedule(...)`` / ``heappush(...)`` per iteration reintroduces the
+heap-traffic scaling the fast paths removed.  The batching primitive
+itself — ``_serve_next``, whose per-packet arrival events *are* the
+reference semantics — is allowlisted, as is the flit-level wormhole
+``_try_send`` tier if it ever grows a loop.
+
 Deliberate scalar implementations (the golden-reference kernels) opt
-out per file with ``# statcheck: ignore-file[PERF001]``.
+out per file with ``# statcheck: ignore-file[PERF001]`` (same syntax
+for ``PERF002``).
 """
 
 from __future__ import annotations
@@ -85,3 +99,81 @@ class TileElementLoop(Rule):
                         "or stride tricks) instead",
                     )
                     break
+
+
+#: Functions whose per-item event scheduling is the reference semantics
+#: itself, not a missed batching opportunity.
+_SCHEDULING_PRIMITIVES = frozenset({"_serve_next", "_try_send"})
+
+#: Callee names that enqueue one event on the simulator's queue: the
+#: simulator scheduling API, whether called as ``sim.schedule(...)`` or
+#: through a hoisted local alias.  Deliberately *not* ``heappush`` /
+#: ``.push`` — bare heap use also serves Dijkstra frontiers and the
+#: event consumer's deferred push-back, which are not per-item event
+#: scheduling.
+_SCHEDULE_CALLEES = frozenset({"schedule", "_schedule"})
+
+
+def _schedule_calls(body: list) -> Iterator[ast.Call]:
+    """Event-scheduling calls lexically inside ``body``, not counting
+    nested function bodies (a callback *definition* inside a loop is not
+    a per-iteration schedule; it runs later, once per event)."""
+    stack: list = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            continue
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else None
+            )
+            if name in _SCHEDULE_CALLEES:
+                yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class PerPacketScheduleLoop(Rule):
+    id = "PERF002"
+    name = "per-packet-schedule-loop"
+    description = (
+        "Python loop in repro.netsim scheduling one event per iteration "
+        "(schedule/_schedule); batch the run under one bulk event like "
+        "_serve_next / the flow coalescer, or route it through an "
+        "allowlisted scheduling primitive."
+    )
+
+    def check(self, ctx: Context) -> Iterator:
+        if "netsim" not in Path(ctx.path).parts:
+            return
+        for fn in ast.walk(ctx.tree):
+            if not isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if fn.name in _SCHEDULING_PRIMITIVES:
+                continue
+            # Only this def's own loops: nested defs are visited as
+            # their own ``fn`` by the outer walk (and checked against
+            # the allowlist there), so don't descend into them here.
+            stack: list = list(fn.body)
+            while stack:
+                node = stack.pop()
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+                ):
+                    continue
+                if isinstance(node, (ast.For, ast.While)):
+                    for call in _schedule_calls(node.body):
+                        yield ctx.finding(
+                            self,
+                            call,
+                            f"loop in {fn.name!r} schedules one event "
+                            "per iteration; serialise the batch under a "
+                            "single completion event (see "
+                            "_LinkServer._serve_next) or add the "
+                            "function to the scheduling-primitive "
+                            "allowlist",
+                        )
+                        break
+                    continue  # one finding per outermost loop
+                stack.extend(ast.iter_child_nodes(node))

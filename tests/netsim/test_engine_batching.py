@@ -23,11 +23,14 @@ from repro.params import DEFAULT_PARAMS
 
 
 def _sim(batch, nodes=8):
+    # fastpath=False: these tests exercise the *batching* tier, which
+    # flow-level coalescing would otherwise bypass entirely.
     return NetworkSimulator(
         ring(nodes),
         DEFAULT_PARAMS,
         packet_bytes=DEFAULT_PARAMS.collective_packet_bytes,
         max_batch_packets=batch,
+        fastpath=False,
     )
 
 
@@ -74,6 +77,7 @@ class TestBatchLimitInvariance:
                 DEFAULT_PARAMS,
                 packet_bytes=DEFAULT_PARAMS.collective_packet_bytes,
                 max_batch_packets=limit,
+                fastpath=False,
             )
             return ring_allreduce(sim, list(range(8)), 100_000).finish_time_s
 
@@ -85,6 +89,7 @@ class TestBatchLimitInvariance:
                 flattened_butterfly_2d(4, 4),
                 DEFAULT_PARAMS,
                 max_batch_packets=limit,
+                fastpath=False,
             )
             return all_to_all(sim, list(range(16)), 2_000).finish_time_s
 

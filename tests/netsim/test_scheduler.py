@@ -1,0 +1,167 @@
+"""Scheduler equivalence: the calendar queue must be order-identical to
+the reference heap.
+
+The engine's correctness rests on the event queue's *total order*
+(earliest time first, insertion ``seq`` breaking ties).  These tests
+drive both backends through identical push/pop traffic — including
+equal-time ties, bucket-wrapping times, resize storms and sparse years —
+and assert the drained sequences are equal element-for-element.  The
+last class runs whole collectives under ``scheduler="calendar"`` and
+compares every observable against the heap engine.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.netsim import NetworkSimulator, ring, ring_allreduce
+from repro.netsim.scheduler import (
+    CalendarScheduler,
+    HeapScheduler,
+    make_scheduler,
+    scheduler_kind_from_env,
+)
+
+
+def _drain(queue):
+    out = []
+    while queue:
+        out.append(queue.pop()[:2])
+    return out
+
+
+def _push_all(queue, events):
+    for seq, time in enumerate(events):
+        queue.push(time, seq, lambda: None)
+
+
+class TestOrderEquivalence:
+    def test_simple_order(self):
+        times = [5e-6, 1e-6, 3e-6, 2e-6, 4e-6]
+        heap, cal = HeapScheduler(), CalendarScheduler()
+        _push_all(heap, times)
+        _push_all(cal, times)
+        assert _drain(heap) == _drain(cal)
+
+    def test_equal_time_ties_resolve_by_seq(self):
+        times = [1e-6] * 10 + [5e-7] * 5 + [1e-6] * 3
+        heap, cal = HeapScheduler(), CalendarScheduler()
+        _push_all(heap, times)
+        _push_all(cal, times)
+        drained = _drain(cal)
+        assert drained == _drain(heap)
+        # Ties strictly ascending in seq.
+        for (t0, s0), (t1, s1) in zip(drained, drained[1:]):
+            assert t0 < t1 or (t0 == t1 and s0 < s1)
+
+    def test_sparse_years(self):
+        """Times separated by >> bucket-width * nbuckets force full
+        rotations and the jump-to-minimum escape."""
+        times = [0.0, 1.0, 3600.0, 2.5e-7, 86400.0, 7.77]
+        heap, cal = HeapScheduler(), CalendarScheduler(nbuckets=4, width=1e-7)
+        _push_all(heap, times)
+        _push_all(cal, times)
+        assert _drain(heap) == _drain(cal)
+
+    def test_resize_preserves_order(self):
+        times = [(i * 37) % 1000 * 1e-8 for i in range(500)]
+        heap, cal = HeapScheduler(), CalendarScheduler(nbuckets=2, width=1e-9)
+        _push_all(heap, times)
+        _push_all(cal, times)
+        assert _drain(heap) == _drain(cal)
+
+    def test_interleaved_push_pop(self):
+        heap, cal = HeapScheduler(), CalendarScheduler()
+        seq = 0
+        out_h, out_c = [], []
+        for round_times in ([3e-6, 1e-6], [2e-6], [5e-6, 4e-6, 1e-6]):
+            for t in round_times:
+                heap.push(t, seq, lambda: None)
+                cal.push(t, seq, lambda: None)
+                seq += 1
+            out_h.append(heap.pop()[:2])
+            out_c.append(cal.pop()[:2])
+        out_h.extend(_drain(heap))
+        out_c.extend(_drain(cal))
+        assert out_h == out_c
+
+    def test_pop_empty_raises(self):
+        with pytest.raises(IndexError):
+            CalendarScheduler().pop()
+
+    def test_clear_empties_in_place(self):
+        cal = CalendarScheduler()
+        _push_all(cal, [1e-6, 2e-6])
+        cal.clear()
+        assert len(cal) == 0 and not cal
+        _push_all(cal, [3e-6])
+        assert _drain(cal) == [(3e-6, 0)]
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        times=st.lists(
+            st.floats(min_value=0.0, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=0,
+            max_size=200,
+        ),
+        nbuckets=st.sampled_from([1, 2, 8, 64]),
+        width=st.sampled_from([1e-9, 1e-6, 1e-3, 1.0]),
+    )
+    def test_random_schedules_identical(self, times, nbuckets, width):
+        heap = HeapScheduler()
+        cal = CalendarScheduler(nbuckets=nbuckets, width=width)
+        _push_all(heap, times)
+        _push_all(cal, times)
+        assert _drain(heap) == _drain(cal)
+
+
+class TestFactory:
+    def test_default_is_heap(self):
+        assert isinstance(make_scheduler(), HeapScheduler)
+
+    def test_explicit_kinds(self):
+        assert isinstance(make_scheduler("heap"), HeapScheduler)
+        assert isinstance(make_scheduler("calendar"), CalendarScheduler)
+
+    def test_env_selects_calendar(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NETSIM_SCHEDULER", "calendar")
+        assert scheduler_kind_from_env() == "calendar"
+        assert isinstance(make_scheduler(), CalendarScheduler)
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_scheduler("fifo")
+
+    def test_invalid_calendar_geometry_rejected(self):
+        with pytest.raises(ValueError):
+            CalendarScheduler(nbuckets=0)
+        with pytest.raises(ValueError):
+            CalendarScheduler(width=0.0)
+
+
+class TestEngineUnderCalendar:
+    """Whole-engine equivalence: heap vs calendar, fast and reference."""
+
+    @staticmethod
+    def _observe(scheduler, fastpath):
+        topo = ring(8)
+        sim = NetworkSimulator(topo, scheduler=scheduler, fastpath=fastpath)
+        result = ring_allreduce(sim, list(range(8)), 32 * 1024)
+        return {
+            "result": result,
+            "now": sim.now,
+            "delivered": sim.messages_delivered,
+            "links": sorted((l.src, l.dst, l.bytes_carried)
+                            for l in topo.links),
+        }
+
+    @pytest.mark.parametrize("fastpath", [False, True])
+    def test_collective_identical_across_schedulers(self, fastpath):
+        assert (self._observe("heap", fastpath)
+                == self._observe("calendar", fastpath))
+
+    def test_calendar_engine_matches_heap_reference(self):
+        """The strongest cross-check: calendar + fast paths equals the
+        plain heap reference engine."""
+        assert self._observe("calendar", True) == self._observe("heap", False)

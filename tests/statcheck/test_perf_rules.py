@@ -1,16 +1,20 @@
-"""The PERF001 rule on minimal sources."""
+"""The PERF001/PERF002 rules on minimal sources."""
 
 import textwrap
 
 from repro.statcheck import check_source
 
 
-def findings(source, path="src/repro/winograd/kernels.py"):
+def findings(source, path="src/repro/winograd/kernels.py", select=("PERF001",)):
     return [
         (f.rule, f.line)
         for f in check_source(textwrap.dedent(source), path=path,
-                              select=["PERF001"])
+                              select=list(select))
     ]
+
+
+def netsim_findings(source, path="src/repro/netsim/engine.py"):
+    return findings(source, path=path, select=("PERF002",))
 
 
 class TestTileElementLoop:
@@ -94,5 +98,111 @@ class TestTileElementLoop:
             def f(t):
                 for i in range(t * t):
                     pass
+            """
+        ) == []
+
+
+class TestPerPacketScheduleLoop:
+    """PERF002: per-event scheduling loops in the netsim package."""
+
+    def test_flags_hand_rolled_per_packet_loop(self):
+        """The canonical regression: un-batching _serve_next back into
+        one schedule() call per packet."""
+        assert netsim_findings(
+            """
+            def serve(sim, link, packets, rate, latency):
+                done = sim.now
+                for packet in packets:
+                    done += packet.wire_bytes / rate
+                    sim.schedule(done + latency, packet.deliver)
+            """
+        ) == [("PERF002", 6)]
+
+    def test_flags_hoisted_alias(self):
+        assert netsim_findings(
+            """
+            def serve(sim, packets):
+                schedule = sim.schedule
+                for packet in packets:
+                    schedule(packet.t, packet.deliver)
+            """
+        ) == [("PERF002", 5)]
+
+    def test_flags_while_loop_private_schedule(self):
+        assert netsim_findings(
+            """
+            def drain(self, queue):
+                while queue:
+                    flit = queue.popleft()
+                    self._schedule(self.now, flit.forward)
+            """
+        ) == [("PERF002", 5)]
+
+    def test_serve_next_is_allowlisted(self):
+        """The batching primitive's per-packet arrival events are the
+        reference semantics, not a missed batch."""
+        assert netsim_findings(
+            """
+            def _serve_next(self):
+                for packet in self.batch:
+                    self.sim.schedule(packet.t, packet.deliver)
+            """
+        ) == []
+
+    def test_callback_definition_in_loop_is_quiet(self):
+        """Defining a completion callback per item is not per-item
+        scheduling — the callback runs later, once per event."""
+        assert netsim_findings(
+            """
+            def fan_out(sim, flows):
+                for flow in flows:
+                    def complete(t, flow=flow):
+                        sim.schedule(t, flow.finish)
+                    flow.on_complete = complete
+            """
+        ) == []
+
+    def test_dijkstra_heappush_is_quiet(self):
+        """Bare heap use (route frontiers, deferred push-back) is not
+        event scheduling."""
+        assert netsim_findings(
+            """
+            import heapq
+
+            def shortest(adj, src):
+                frontier = [(0.0, src)]
+                while frontier:
+                    d, node = heapq.heappop(frontier)
+                    for nxt, w in adj[node]:
+                        heapq.heappush(frontier, (d + w, nxt))
+            """
+        ) == []
+
+    def test_schedule_outside_loop_is_quiet(self):
+        assert netsim_findings(
+            """
+            def coalesce(sim, message, finish):
+                total = 0
+                for part in message.parts:
+                    total += part.wire_bytes
+                sim.schedule(finish, message.complete)
+            """
+        ) == []
+
+    def test_other_packages_out_of_scope(self):
+        src = """
+        def f(sim, items):
+            for item in items:
+                sim.schedule(item.t, item.go)
+        """
+        assert netsim_findings(src, path="src/repro/winograd/kernels.py") == []
+
+    def test_file_pragma_suppresses(self):
+        assert netsim_findings(
+            """
+            # statcheck: ignore-file[PERF002]
+            def f(sim, items):
+                for item in items:
+                    sim.schedule(item.t, item.go)
             """
         ) == []
